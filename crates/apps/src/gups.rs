@@ -1,0 +1,214 @@
+//! Random Access (GUPS) — paper §V-A.
+//!
+//! Measures the throughput of random xor-updates to a globally shared
+//! table (giga-updates per second). The update loop is the paper's:
+//!
+//! ```c
+//! for (i = MYTHREAD; i < NUPDATE; i += THREADS) {
+//!     ran = (ran << 1) ^ ((int64_t)ran < 0 ? POLY : 0);
+//!     Table[ran & (TableSize-1)] ^= ran;
+//! }
+//! ```
+//!
+//! Two code paths reproduce the paper's UPC-vs-UPC++ comparison:
+//! * [`Variant::Upcxx`] — every access goes through the `SharedArray`
+//!   proxy (runtime block-cyclic layout computation + bounds check);
+//! * [`Variant::UpcDirect`] — the pre-resolved direct path modeling the
+//!   Berkeley UPC compiler's optimized shared-array access.
+//!
+//! Updates use the fabric's atomic xor, so re-applying the identical
+//! update sequence restores the table — the built-in verification.
+
+use rupcxx::prelude::*;
+use rupcxx::UpcDirectTable;
+use rupcxx_util::{GupsRng, Timer};
+
+/// Which access path performs the updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// `SharedArray` proxy path (the UPC++ curve).
+    Upcxx,
+    /// Pre-resolved direct path (the UPC curve).
+    UpcDirect,
+}
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GupsConfig {
+    /// Total table words; must be a power of two (as in HPCC).
+    pub table_size: usize,
+    /// Updates performed per rank.
+    pub updates_per_rank: usize,
+    /// Access path.
+    pub variant: Variant,
+    /// Run the inverse pass and check the table returned to its initial
+    /// state (doubles the runtime).
+    pub verify: bool,
+}
+
+/// Result of one GUPS run (per rank; aggregate at rank 0).
+#[derive(Clone, Copy, Debug)]
+pub struct GupsResult {
+    /// Wall seconds of the update phase on this rank.
+    pub seconds: f64,
+    /// Updates this rank performed.
+    pub updates: usize,
+    /// Aggregate giga-updates/s over all ranks (valid on every rank).
+    pub gups: f64,
+    /// Whether verification passed (true when `verify` was off).
+    pub verified: bool,
+}
+
+/// Run GUPS collectively. Every rank must call with identical `cfg`.
+pub fn run(ctx: &Ctx, cfg: &GupsConfig) -> GupsResult {
+    assert!(cfg.table_size.is_power_of_two(), "table size must be 2^k");
+    let table = SharedArray::<u64>::new(ctx, cfg.table_size, 1);
+    // Table[i] = i initially (HPCC convention).
+    for i in table.my_indices(ctx).collect::<Vec<_>>() {
+        table.write(ctx, i, i as u64);
+    }
+    let direct = UpcDirectTable::new(ctx, &table);
+    if cfg.variant == Variant::UpcDirect {
+        assert!(
+            direct.is_some(),
+            "UpcDirect requires power-of-two rank count"
+        );
+    }
+    ctx.barrier();
+
+    let t = Timer::start();
+    run_updates(ctx, cfg, &table, direct.as_ref());
+    ctx.barrier();
+    let seconds = t.seconds();
+
+    let max_secs = ctx.allreduce(seconds, f64::max);
+    let total_updates = (cfg.updates_per_rank * ctx.ranks()) as f64;
+    let gups = total_updates / max_secs / 1e9;
+
+    let mut verified = true;
+    if cfg.verify {
+        // Xor is an involution: the same update stream restores Table[i]=i.
+        run_updates(ctx, cfg, &table, direct.as_ref());
+        ctx.barrier();
+        let mut ok = true;
+        for i in table.my_indices(ctx).collect::<Vec<_>>() {
+            if table.read(ctx, i) != i as u64 {
+                ok = false;
+                break;
+            }
+        }
+        verified = ctx.allreduce(u64::from(ok), |a, b| a & b) == 1;
+    }
+    table.destroy(ctx);
+    GupsResult {
+        seconds,
+        updates: cfg.updates_per_rank,
+        gups,
+        verified,
+    }
+}
+
+fn run_updates(
+    ctx: &Ctx,
+    cfg: &GupsConfig,
+    table: &SharedArray<u64>,
+    direct: Option<&UpcDirectTable>,
+) {
+    let mask = cfg.table_size - 1;
+    // Each rank starts at its offset of the global HPCC stream, exactly
+    // like the paper's `for (i = MYTHREAD; ...; i += THREADS)` but with
+    // contiguous per-rank chunks (same statistics, cheaper jump-ahead).
+    let start = (ctx.rank() * cfg.updates_per_rank) as i64;
+    let mut rng = GupsRng::starting_at(start);
+    match cfg.variant {
+        Variant::Upcxx => {
+            for _ in 0..cfg.updates_per_rank {
+                let ran = rng.next_u64();
+                table.xor(ctx, ran as usize & mask, ran);
+            }
+        }
+        Variant::UpcDirect => {
+            let d = direct.expect("checked in run()");
+            for _ in 0..cfg.updates_per_rank {
+                let ran = rng.next_u64();
+                d.xor(ctx, ran as usize & mask, ran);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupcxx_runtime::{spmd, RuntimeConfig};
+
+    fn cfg_rt(n: usize) -> RuntimeConfig {
+        RuntimeConfig::new(n).segment_mib(1)
+    }
+
+    #[test]
+    fn gups_verifies_upcxx_path() {
+        let out = spmd(cfg_rt(4), |ctx| {
+            run(
+                ctx,
+                &GupsConfig {
+                    table_size: 1 << 12,
+                    updates_per_rank: 2000,
+                    variant: Variant::Upcxx,
+                    verify: true,
+                },
+            )
+        });
+        assert!(out.iter().all(|r| r.verified));
+        assert!(out.iter().all(|r| r.gups > 0.0));
+    }
+
+    #[test]
+    fn gups_verifies_direct_path() {
+        let out = spmd(cfg_rt(2), |ctx| {
+            run(
+                ctx,
+                &GupsConfig {
+                    table_size: 1 << 10,
+                    updates_per_rank: 1000,
+                    variant: Variant::UpcDirect,
+                    verify: true,
+                },
+            )
+        });
+        assert!(out.iter().all(|r| r.verified));
+    }
+
+    #[test]
+    fn single_rank_gups() {
+        let out = spmd(cfg_rt(1), |ctx| {
+            run(
+                ctx,
+                &GupsConfig {
+                    table_size: 1 << 10,
+                    updates_per_rank: 500,
+                    variant: Variant::Upcxx,
+                    verify: true,
+                },
+            )
+        });
+        assert!(out[0].verified);
+        assert_eq!(out[0].updates, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_pow2_table_rejected() {
+        spmd(cfg_rt(1), |ctx| {
+            run(
+                ctx,
+                &GupsConfig {
+                    table_size: 1000,
+                    updates_per_rank: 1,
+                    variant: Variant::Upcxx,
+                    verify: false,
+                },
+            );
+        });
+    }
+}

@@ -1,0 +1,17 @@
+//! `rupcxx-apps` — the five benchmarks of the UPC++ paper (§V, Table III),
+//! implemented as library code so that examples, integration tests and the
+//! `repro-*` harnesses all drive the same kernels.
+//!
+//! | benchmark | computation | communication | paper baseline |
+//! |---|---|---|---|
+//! | [`gups`] | bit-xor updates | fine-grained random remote RMW | UPC (direct path) |
+//! | [`stencil`] | 7-point 3-D Jacobi | bulk ghost-zone copies | Titanium (optimized indexing) |
+//! | [`sample_sort`] | local quicksort | irregular one-sided redistribution | UPC |
+//! | [`ray`] (MiniRay) | Monte-Carlo path tracing | single gather + reduction | — (strong scaling) |
+//! | [`lulesh`] (MiniLulesh) | Lagrange leapfrog hydro | 26-neighbour ghost exchange | MPI (two-sided) |
+
+pub mod gups;
+pub mod lulesh;
+pub mod ray;
+pub mod sample_sort;
+pub mod stencil;

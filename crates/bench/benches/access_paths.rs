@@ -1,0 +1,51 @@
+//! Ablation: shared-array access paths (the software gap behind Fig. 4).
+//!
+//! Compares the per-update cost of (a) the `SharedArray` proxy path
+//! (runtime block-cyclic layout + bounds check), (b) the UPC-direct
+//! mask/shift path, and (c) a raw segment word op (lower bound).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupcxx::{SharedArray, UpcDirectTable};
+use rupcxx_runtime::shared::{HandlerRegistry, Shared};
+use rupcxx_runtime::Ctx;
+use rupcxx_util::GupsRng;
+
+fn bench_access(c: &mut Criterion) {
+    let shared = Shared::new(1, 32 << 20, HandlerRegistry::new());
+    let ctx = Ctx::new(0, shared);
+    let bits = 16usize;
+    let size = 1usize << bits;
+    let mask = size - 1;
+    let table = SharedArray::<u64>::new(&ctx, size, 1);
+    let direct = UpcDirectTable::new(&ctx, &table).expect("pow2");
+    let base = table.base_of(0).addr();
+
+    let mut g = c.benchmark_group("gups_access_path");
+    g.sample_size(20);
+    let mut rng = GupsRng::new();
+    g.bench_function("shared_array_proxy", |b| {
+        b.iter(|| {
+            let r = rng.next_u64();
+            table.xor(&ctx, r as usize & mask, r);
+        })
+    });
+    let mut rng2 = GupsRng::new();
+    g.bench_function("upc_direct", |b| {
+        b.iter(|| {
+            let r = rng2.next_u64();
+            direct.xor(&ctx, r as usize & mask, r);
+        })
+    });
+    let mut rng3 = GupsRng::new();
+    g.bench_function("raw_segment_word", |b| {
+        b.iter(|| {
+            let r = rng3.next_u64();
+            ctx.fabric()
+                .xor_u64(0, base.add((r as usize & mask) * 8), r);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

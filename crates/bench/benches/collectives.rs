@@ -1,0 +1,88 @@
+//! Collective-operation scaling on the AM fabric: barrier, broadcast,
+//! reduce and exchange at increasing rank counts. The dissemination
+//! barrier's N·⌈log₂N⌉ message count and the binomial trees' log-depth
+//! are what the perf model charges for synchronization at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupcxx_runtime::{spmd, RuntimeConfig};
+use std::time::{Duration, Instant};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+
+    for ranks in [2usize, 4, 8] {
+        g.bench_function(format!("allreduce_f64_{ranks}ranks"), |b| {
+            b.iter_custom(|iters| {
+                let out = spmd(RuntimeConfig::new(ranks).segment_mib(1), move |ctx| {
+                    ctx.barrier();
+                    let t = Instant::now();
+                    let mut acc = ctx.rank() as f64;
+                    for _ in 0..iters {
+                        acc = ctx.allreduce(acc, f64::max);
+                    }
+                    std::hint::black_box(acc);
+                    t.elapsed()
+                });
+                out.into_iter().max().unwrap_or(Duration::ZERO)
+            })
+        });
+    }
+
+    g.bench_function("broadcast_1kib_4ranks", |b| {
+        b.iter_custom(|iters| {
+            let out = spmd(RuntimeConfig::new(4).segment_mib(1), move |ctx| {
+                let payload = vec![7u8; 1024];
+                ctx.barrier();
+                let t = Instant::now();
+                for _ in 0..iters {
+                    let got = ctx.broadcast_bytes(0, payload.clone());
+                    std::hint::black_box(got.len());
+                }
+                t.elapsed()
+            });
+            out.into_iter().max().unwrap_or(Duration::ZERO)
+        })
+    });
+
+    g.bench_function("exchange_256b_4ranks", |b| {
+        b.iter_custom(|iters| {
+            let out = spmd(RuntimeConfig::new(4).segment_mib(1), move |ctx| {
+                ctx.barrier();
+                let t = Instant::now();
+                for _ in 0..iters {
+                    let input: Vec<Vec<u8>> = (0..4).map(|d| vec![d as u8; 256]).collect();
+                    let got = ctx.exchange(input);
+                    std::hint::black_box(got.len());
+                }
+                t.elapsed()
+            });
+            out.into_iter().max().unwrap_or(Duration::ZERO)
+        })
+    });
+
+    // Team collectives: a sub-team allreduce vs the world allreduce at the
+    // same member count (domain isolation overhead check).
+    g.bench_function("team_allreduce_half_of_8", |b| {
+        b.iter_custom(|iters| {
+            let out = spmd(RuntimeConfig::new(8).segment_mib(1), move |ctx| {
+                let w = ctx.team_world();
+                let t_half = w.split(ctx, (ctx.rank() % 2) as u64, ctx.rank() as u64);
+                ctx.barrier();
+                let timer = Instant::now();
+                let mut acc = ctx.rank() as u64;
+                for _ in 0..iters {
+                    acc = t_half.allreduce(ctx, acc, u64::max);
+                }
+                std::hint::black_box(acc);
+                timer.elapsed()
+            });
+            out.into_iter().max().unwrap_or(Duration::ZERO)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

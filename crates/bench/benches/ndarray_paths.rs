@@ -1,0 +1,64 @@
+//! Ablation: multidimensional array indexing paths (the Titanium-port
+//! optimizations of §V-B) and ghost-copy layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupcxx_ndarray::{pt, rd, LocalGrid, NdArray};
+use rupcxx_runtime::shared::{HandlerRegistry, Shared};
+use rupcxx_runtime::Ctx;
+
+fn bench_ndarray(c: &mut Criterion) {
+    let shared = Shared::new(1, 64 << 20, HandlerRegistry::new());
+    let ctx = Ctx::new(0, shared);
+    let e = 32i64;
+    let dom = rd!([0, 0, 0] .. [e, e, e]);
+    let arr = NdArray::<f64, 3>::new(&ctx, dom);
+    arr.fill_with(&ctx, |p| (p[0] + p[1] + p[2]) as f64);
+    let grid = LocalGrid::new(&ctx, &arr);
+
+    let mut g = c.benchmark_group("ndarray_indexing");
+    g.sample_size(20);
+    g.bench_function("generic_point_get_plane", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for j in 0..e {
+                for k in 0..e {
+                    acc += arr.get(&ctx, pt![7, j, k]);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("localgrid_at_plane", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for j in 0..e {
+                for k in 0..e {
+                    acc += grid.at(7, j, k);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    // Ghost-copy layouts: a contiguous face (one strided RMA op) vs a
+    // scattered face (per-element ops).
+    let src = NdArray::<f64, 3>::new(&ctx, dom);
+    src.fill(&ctx, 1.0);
+    let dst = NdArray::<f64, 3>::new(&ctx, dom);
+    dst.fill(&ctx, 0.0);
+    let face_fast = rd!([0, 0, 0] .. [1, e, e]); // rows contiguous
+    let face_slow = rd!([0, 0, 0] .. [e, e, 1]); // rows of length 1
+    let mut g2 = c.benchmark_group("ghost_copy_layout");
+    g2.sample_size(20);
+    g2.bench_function("plane_contiguous_rows", |b| {
+        b.iter(|| dst.restrict(face_fast).copy_from(&ctx, &src))
+    });
+    g2.bench_function("plane_unit_rows", |b| {
+        b.iter(|| dst.restrict(face_slow).copy_from(&ctx, &src))
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_ndarray);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation: async RPC dispatch — boxed-closure tasks (the in-process
+//! shortcut) vs registered-handler messages with packed arguments (the
+//! paper's "pack fn pointer + args into a contiguous buffer" path).
+
+use bytes::Bytes;
+use rupcxx::remote_fn::FnRegistry;
+use rupcxx::spmd_registered;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupcxx::async_on;
+use rupcxx_runtime::shared::HandlerRegistry;
+use rupcxx_runtime::{spmd, spmd_with_handlers, RuntimeConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_rpc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpc");
+    g.sample_size(10);
+
+    g.bench_function("closure_async_roundtrip", |b| {
+        b.iter_custom(|iters| {
+            let out = spmd(RuntimeConfig::new(2).segment_mib(1), move |ctx| {
+                if ctx.rank() != 0 {
+                    return std::time::Duration::ZERO;
+                }
+                let t = Instant::now();
+                for i in 0..iters {
+                    let f = async_on(ctx, 1, move |_| i * 2);
+                    assert_eq!(f.get(ctx), i * 2);
+                }
+                t.elapsed()
+            });
+            out[0]
+        })
+    });
+
+    g.bench_function("registered_handler_oneway", |b| {
+        b.iter_custom(|iters| {
+            let sink = Arc::new(AtomicU64::new(0));
+            let sink2 = sink.clone();
+            let mut reg = HandlerRegistry::new();
+            let id = reg.register(move |_, _, args| {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&args);
+                sink2.fetch_add(u64::from_le_bytes(buf), Ordering::Relaxed);
+            });
+            let out = spmd_with_handlers(
+                RuntimeConfig::new(2).segment_mib(1),
+                reg,
+                move |ctx| {
+                    if ctx.rank() != 0 {
+                        ctx.barrier();
+                        return std::time::Duration::ZERO;
+                    }
+                    let t = Instant::now();
+                    for i in 0..iters {
+                        ctx.send_handler(1, id, Bytes::copy_from_slice(&i.to_le_bytes()));
+                    }
+                    ctx.barrier();
+                    t.elapsed()
+                },
+            );
+            out[0]
+        })
+    });
+
+    g.bench_function("typed_remote_fn_roundtrip", |b| {
+        b.iter_custom(|iters| {
+            let mut reg = FnRegistry::new();
+            let double = reg.register(|_ctx: &rupcxx_runtime::Ctx, x: u64| x * 2);
+            let out = spmd_registered(
+                RuntimeConfig::new(2).segment_mib(1),
+                reg,
+                move |ctx| {
+                    if ctx.rank() != 0 {
+                        return std::time::Duration::ZERO;
+                    }
+                    let t = Instant::now();
+                    for i in 0..iters {
+                        assert_eq!(double.call_blocking(ctx, 1, i), i * 2);
+                    }
+                    t.elapsed()
+                },
+            );
+            out[0]
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_rpc);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Synchronization primitives (paper §III-F: "no observable performance
+//! difference between UPC and UPC++ synchronization operations" — both
+//! call the same runtime, so we bench the single shared implementation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupcxx::GlobalLock;
+use rupcxx_runtime::{spmd, RuntimeConfig};
+use std::time::{Duration, Instant};
+
+fn bench_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync");
+    g.sample_size(10);
+
+    for ranks in [2usize, 4] {
+        g.bench_function(format!("barrier_{ranks}ranks"), |b| {
+            b.iter_custom(|iters| {
+                let out = spmd(RuntimeConfig::new(ranks).segment_mib(1), move |ctx| {
+                    ctx.barrier();
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        ctx.barrier();
+                    }
+                    t.elapsed()
+                });
+                out.into_iter().max().unwrap_or(Duration::ZERO)
+            })
+        });
+    }
+
+    g.bench_function("fence_1rank", |b| {
+        b.iter_custom(|iters| {
+            let out = spmd(RuntimeConfig::new(1).segment_mib(1), move |ctx| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    ctx.fence();
+                }
+                t.elapsed()
+            });
+            out[0]
+        })
+    });
+
+    g.bench_function("lock_uncontended", |b| {
+        b.iter_custom(|iters| {
+            let out = spmd(RuntimeConfig::new(1).segment_mib(1), move |ctx| {
+                let lock = GlobalLock::new(ctx, 0);
+                let t = Instant::now();
+                for _ in 0..iters {
+                    lock.acquire(ctx);
+                    lock.release(ctx);
+                }
+                let dt = t.elapsed();
+                lock.destroy(ctx);
+                dt
+            });
+            out[0]
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: ghost-exchange transports (the Fig. 8 software difference) —
+//! one-sided puts vs two-sided eager vs two-sided rendezvous.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupcxx::{allocate, deallocate};
+use rupcxx_mpi::MpiWorld;
+use rupcxx_runtime::{spmd, RuntimeConfig};
+use std::time::{Duration, Instant};
+
+const MSG: usize = 64 * 1024;
+
+fn bench_transports(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange_64k");
+    g.sample_size(10);
+
+    g.bench_function("one_sided_rput", |b| {
+        b.iter_custom(|iters| {
+            let out = spmd(RuntimeConfig::new(2).segment_mib(8), move |ctx| {
+                let landing = allocate::<f64>(ctx, ctx.rank(), MSG / 8).expect("landing");
+                let dirs = ctx.allgatherv(&[landing]);
+                let data = vec![1.25f64; MSG / 8];
+                ctx.barrier();
+                let t = Instant::now();
+                if ctx.rank() == 0 {
+                    for _ in 0..iters {
+                        dirs[1].rput_slice(ctx, &data);
+                    }
+                    ctx.fence();
+                }
+                let dt = t.elapsed();
+                ctx.barrier();
+                deallocate(ctx, landing);
+                dt
+            });
+            out[0]
+        })
+    });
+
+    for (name, eager_limit) in [("two_sided_eager", usize::MAX), ("two_sided_rendezvous", 0)] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let world = MpiWorld::with_eager_limit(2, eager_limit);
+                let out = spmd(RuntimeConfig::new(2).segment_mib(32), move |ctx| {
+                    let comm = world.comm(ctx);
+                    let data = vec![1.25f64; MSG / 8];
+                    ctx.barrier();
+                    let t = Instant::now();
+                    if ctx.rank() == 0 {
+                        for i in 0..iters {
+                            let r = comm.isend_slice(1, i, &data);
+                            comm.wait_send(&r);
+                        }
+                    } else {
+                        for i in 0..iters {
+                            let _ = comm.recv(0, i);
+                        }
+                    }
+                    t.elapsed()
+                });
+                out.into_iter().max().unwrap_or(Duration::ZERO)
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Run every `repro-*` harness in sequence (Fig. 4 + Table IV, Fig. 5,
+//! Fig. 6, Fig. 7, Fig. 8). Equivalent to invoking each binary by hand;
+//! results land in `results/*.csv`.
+
+use std::process::Command;
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    let mut failures = 0;
+    for fig in ["repro-fig4", "repro-fig5", "repro-fig6", "repro-fig7", "repro-fig8"] {
+        println!("\n################ {fig} ################");
+        let status = Command::new(dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        if !status.success() {
+            eprintln!("{fig} FAILED ({status})");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nAll reproduction harnesses completed; CSVs in results/.");
+}

@@ -1,0 +1,156 @@
+//! Reproduce **Fig. 4** (Random Access latency per update, UPC vs UPC++)
+//! and **Table IV** (GUPS at 16/128/1024/8192 threads) on the modeled
+//! Vesta (IBM BG/Q), plus the measured host-scale series.
+
+use rupcxx_apps::gups::{run, GupsConfig, Variant};
+use rupcxx_bench::calibrate::{gups_software_costs, Calibration};
+use rupcxx_bench::report::{emit, two_series_table};
+use rupcxx_perfmodel::bench_models::gups_model;
+use rupcxx_perfmodel::vesta;
+use rupcxx_runtime::{spmd, RuntimeConfig};
+use rupcxx_runtime::SimNet;
+use rupcxx_util::{table::fnum, Table};
+
+fn measured_point(ranks: usize, variant: Variant) -> (f64, f64) {
+    let updates = 60_000 / ranks;
+    let out = spmd(RuntimeConfig::new(ranks).segment_mib(16), move |ctx| {
+        run(
+            ctx,
+            &GupsConfig {
+                table_size: 1 << 16,
+                updates_per_rank: updates,
+                variant,
+                verify: false,
+            },
+        )
+    });
+    let us_per_update = out[0].seconds / out[0].updates as f64 * 1e6;
+    (us_per_update, out[0].gups)
+}
+
+fn main() {
+    println!("UPC++ reproduction: Fig. 4 + Table IV (Random Access / GUPS)");
+
+    // --- Measured on this host (real runs, ranks are threads). ---
+    let mut m = Table::new(["ranks", "UPC us/up", "UPC++ us/up", "UPC GUPS", "UPC++ GUPS"]);
+    for ranks in [1usize, 2, 4] {
+        let (upc_us, upc_gups) = measured_point(ranks, Variant::UpcDirect);
+        let (upcxx_us, upcxx_gups) = measured_point(ranks, Variant::Upcxx);
+        m.row([
+            ranks.to_string(),
+            fnum(upc_us),
+            fnum(upcxx_us),
+            fnum(upc_gups),
+            fnum(upcxx_gups),
+        ]);
+    }
+    emit("fig4_measured", "MEASURED on this host (shared-memory fabric)", &m);
+
+    // --- Measured with a synthetic wire (SimNet): remote ops pay a
+    // BG/Q-like per-op latency, so the host run itself becomes
+    // latency-bound and the two access paths converge — the paper's core
+    // claim, observed end-to-end rather than modeled. ---
+    let simnet = SimNet {
+        latency_ns: 1200,
+        bytes_per_us: 1800,
+    };
+    // Only as many ranks as physical cores: the busy-wait wire makes
+    // oversubscribed ranks steal each other's spin time.
+    let phys = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut sm = Table::new(["ranks", "UPC us/up", "UPC++ us/up", "ratio"]);
+    for ranks in [phys.min(2)] {
+        let updates = 30_000 / ranks;
+        // Min-of-3 runs per variant: the injected latency makes runs
+        // short, so scheduler noise must be filtered out.
+        let point = |variant: Variant| {
+            (0..3)
+                .map(|_| {
+                    let out = spmd(
+                        RuntimeConfig::new(ranks).segment_mib(16).with_simnet(simnet),
+                        move |ctx| {
+                            run(
+                                ctx,
+                                &GupsConfig {
+                                    table_size: 1 << 16,
+                                    updates_per_rank: updates,
+                                    variant,
+                                    verify: false,
+                                },
+                            )
+                        },
+                    );
+                    out[0].seconds / out[0].updates as f64 * 1e6
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let upc = point(Variant::UpcDirect);
+        let upcxx = point(Variant::Upcxx);
+        sm.row([
+            ranks.to_string(),
+            fnum(upc),
+            fnum(upcxx),
+            format!("{:.3}", upcxx / upc),
+        ]);
+    }
+    emit(
+        "fig4_measured_simnet",
+        "MEASURED with synthetic 1.2us wire: the gap closes when latency dominates",
+        &sm,
+    );
+
+    // --- Calibrate software costs and project onto Vesta. ---
+    let cal = Calibration::measure();
+    let (proxy_host, direct_host) = gups_software_costs(16, 300_000);
+    let machine = vesta();
+    // The measured *code-path-length* ratio of the two address
+    // resolutions (div/mod/bounds vs mask/shift) scales the
+    // layout-dependent fraction of the machine's PGAS per-access software
+    // constant. BUPC's shared-array specialization removes only the
+    // layout math — the rest of the access path (call, dispatch, fence
+    // bookkeeping) is common to both, hence the damping factor.
+    const LAYOUT_FRACTION: f64 = 0.2;
+    let layout_ratio = rupcxx_bench::calibrate::layout_path_ratio(2_000_000);
+    let sw_ratio = 1.0 + LAYOUT_FRACTION * (layout_ratio - 1.0);
+    println!(
+        "\ncalibration: host {:.2} Gflop/s; full access host: proxy {:.1} ns, direct {:.1} ns; layout path-length ratio {:.3} → access software ratio {:.3}",
+        cal.host_flops / 1e9,
+        proxy_host * 1e9,
+        direct_host * 1e9,
+        layout_ratio,
+        sw_ratio
+    );
+    println!(
+        "PGAS access software on {}: UPC {:.2} us, UPC++ {:.2} us",
+        machine.name,
+        machine.pgas_access_sw * 1e6,
+        machine.pgas_access_sw * sw_ratio * 1e6
+    );
+
+    let cores: Vec<usize> = (0..14).map(|i| 1usize << i).collect();
+    let (lat_upc, gups_upc) = gups_model(&machine, &cores, 1.0);
+    let (lat_upcxx, gups_upcxx) = gups_model(&machine, &cores, sw_ratio.max(1.0));
+
+    let t = two_series_table("cores", "UPC us/up", &lat_upc, "UPC++ us/up", &lat_upcxx);
+    emit("fig4_model", "MODELED Fig. 4: latency per update on Vesta (BG/Q)", &t);
+
+    // Table IV rows.
+    let mut t4 = Table::new(["THREADS", "UPC (GUPS)", "UPC++ (GUPS)", "paper UPC", "paper UPC++"]);
+    let paper = [(16, 0.0017, 0.0014), (128, 0.012, 0.0108), (1024, 0.094, 0.084), (8192, 0.69, 0.64)];
+    for &(threads, p_upc, p_upcxx) in &paper {
+        let i = cores.iter().position(|&c| c == threads).expect("in series");
+        t4.row([
+            threads.to_string(),
+            fnum(gups_upc[i].value),
+            fnum(gups_upcxx[i].value),
+            fnum(p_upc),
+            fnum(p_upcxx),
+        ]);
+    }
+    emit("table4_model", "MODELED Table IV: GUPS (paper values alongside)", &t4);
+
+    println!(
+        "\nshape check: UPC++/UPC latency ratio at 128 cores = {:.3}, at 8192 cores = {:.3} (paper: gap shrinks from ~10% to a few %)",
+        lat_upcxx[7].value / lat_upc[7].value,
+        lat_upcxx[13].value / lat_upc[13].value
+    );
+}

@@ -1,0 +1,85 @@
+//! Reproduce **Fig. 8** (LULESH weak scaling, MPI vs UPC++, FOM z/s on
+//! Cray XC30; perfect-cube rank counts) — measured host series plus
+//! modeled Edison series.
+
+use rupcxx_apps::lulesh::{run, LuleshConfig, Transport};
+use rupcxx_bench::calibrate::{lulesh_software_cost, Calibration};
+use rupcxx_bench::report::{emit, two_series_table};
+use rupcxx_mpi::MpiWorld;
+use rupcxx_perfmodel::bench_models::{lulesh_model, Exchange};
+use rupcxx_perfmodel::edison;
+use rupcxx_runtime::{spmd, RuntimeConfig};
+use rupcxx_util::{table::fnum, Table};
+
+fn measured_point(q: usize, edge: usize, transport: Transport) -> (f64, f64) {
+    let ranks = q * q * q;
+    let world = (transport == Transport::TwoSided).then(|| MpiWorld::new(ranks));
+    let out = spmd(RuntimeConfig::new(ranks).segment_mib(8), move |ctx| {
+        run(
+            ctx,
+            &LuleshConfig {
+                edge,
+                q,
+                steps: 4,
+                transport,
+            },
+            world.as_ref(),
+        )
+    });
+    (out[0].fom_zps, out[0].total_energy)
+}
+
+fn main() {
+    println!("UPC++ reproduction: Fig. 8 (LULESH weak scaling, perfect cubes)");
+
+    // --- Measured host series (q^3 ranks); includes the pack-free
+    // multidimensional-array variant (the paper's §V-E future work). ---
+    let mut m = Table::new([
+        "ranks",
+        "MPI FOM z/s",
+        "UPC++ FOM z/s",
+        "PGAS-arrays FOM z/s",
+        "energy equal",
+    ]);
+    for q in [1usize, 2] {
+        let (fom_mpi, e_mpi) = measured_point(q, 8, Transport::TwoSided);
+        let (fom_upcxx, e_upcxx) = measured_point(q, 8, Transport::OneSided);
+        let (fom_arr, e_arr) = measured_point(q, 8, Transport::PgasArrays);
+        m.row([
+            (q * q * q).to_string(),
+            fnum(fom_mpi),
+            fnum(fom_upcxx),
+            fnum(fom_arr),
+            (e_mpi == e_upcxx && e_upcxx == e_arr).to_string(),
+        ]);
+    }
+    emit(
+        "fig8_measured",
+        "MEASURED on this host (8^3 zones/rank, 4 steps)",
+        &m,
+    );
+
+    // --- Calibrate and model Edison. ---
+    let cal = Calibration::measure();
+    let host_per_zone = lulesh_software_cost(16, 4);
+    let machine = edison();
+    println!(
+        "\ncalibration: host software {:.1} ns per zone-step",
+        host_per_zone * 1e9
+    );
+    let sw = cal.scale_to(&machine, host_per_zone);
+    let cores = [64usize, 216, 512, 1000, 4096, 8000, 13824, 32768];
+    let mpi = lulesh_model(&machine, &cores, 30, sw, Exchange::TwoSided);
+    let upcxx = lulesh_model(&machine, &cores, 30, sw, Exchange::OneSided);
+    let t = two_series_table("cores", "UPC++ FOM z/s", &upcxx, "MPI FOM z/s", &mpi);
+    emit(
+        "fig8_model",
+        "MODELED Fig. 8: weak-scaling FOM on Edison (30^3 zones/rank)",
+        &t,
+    );
+    println!(
+        "\nshape check: UPC++/MPI at 64 cores = {:.3}, at 32768 cores = {:.3} (paper: ~10% faster at 32K)",
+        upcxx[0].value / mpi[0].value,
+        upcxx.last().unwrap().value / mpi.last().unwrap().value
+    );
+}

@@ -1,0 +1,250 @@
+//! Host calibration: measure the per-operation software costs that the
+//! performance model combines with the paper machines' network terms.
+
+use rupcxx::prelude::*;
+use rupcxx::UpcDirectTable;
+use rupcxx_util::{GupsRng, Timer};
+
+/// Calibrated host quantities.
+#[derive(Clone, Copy, Debug)]
+pub struct Calibration {
+    /// Estimated host scalar flop rate (flop/s) — used to scale host
+    /// software times onto the paper machines' slower cores.
+    pub host_flops: f64,
+}
+
+impl Calibration {
+    /// Measure the host's scalar floating-point *throughput* with four
+    /// independent multiply-add chains (comparable to the peak-ish
+    /// `flops_per_core` rates in the machine descriptions).
+    pub fn measure() -> Self {
+        let n = 10_000_000u64;
+        let t = Timer::start();
+        let (mut a, mut b, mut c, mut d) = (1.0f64, 1.1f64, 1.2f64, 1.3f64);
+        for _ in 0..n {
+            a = a * 1.000_000_01 + 1e-12;
+            b = b * 0.999_999_99 + 1e-12;
+            c = c * 1.000_000_02 + 1e-12;
+            d = d * 0.999_999_98 + 1e-12;
+        }
+        let secs = t.seconds();
+        std::hint::black_box(a + b + c + d);
+        Calibration {
+            host_flops: 8.0 * n as f64 / secs,
+        }
+    }
+
+    /// Scale a host-measured software time onto `machine`'s cores.
+    pub fn scale_to(&self, machine: &rupcxx_perfmodel::Machine, host_seconds: f64) -> f64 {
+        host_seconds * rupcxx_perfmodel::bench_models::cpu_scale(machine, self.host_flops)
+    }
+}
+
+/// Measure the local (no-network) per-update software cost of the two
+/// GUPS access paths, in seconds per update: `(upcxx_proxy, upc_direct)`.
+///
+/// Runs single-rank so every access is local: the measured difference is
+/// exactly the proxy-vs-direct software gap the paper attributes to the
+/// Berkeley UPC compiler's optimized accesses.
+pub fn gups_software_costs(table_bits: u32, updates: usize) -> (f64, f64) {
+    let out = spmd(RuntimeConfig::new(1).segment_mib(64), move |ctx| {
+        let size = 1usize << table_bits;
+        let table = SharedArray::<u64>::new(ctx, size, 1);
+        let direct = UpcDirectTable::new(ctx, &table).expect("1 rank is a power of two");
+        let mask = size - 1;
+        // Warm up.
+        let mut rng = GupsRng::new();
+        for _ in 0..updates / 10 {
+            let r = rng.next_u64();
+            table.xor(ctx, r as usize & mask, r);
+        }
+        // Proxy path.
+        let mut rng = GupsRng::new();
+        let t = Timer::start();
+        for _ in 0..updates {
+            let r = rng.next_u64();
+            table.xor(ctx, r as usize & mask, r);
+        }
+        let proxy = t.seconds() / updates as f64;
+        // Direct path.
+        let mut rng = GupsRng::new();
+        let t = Timer::start();
+        for _ in 0..updates {
+            let r = rng.next_u64();
+            direct.xor(ctx, r as usize & mask, r);
+        }
+        let direct_t = t.seconds() / updates as f64;
+        table.destroy(ctx);
+        (proxy, direct_t)
+    });
+    out[0]
+}
+
+/// Measure the pure *code-path-length* ratio of the two shared-array
+/// address resolutions, excluding the memory operation itself:
+/// the proxy path (bounds check + runtime block-cyclic division +
+/// directory lookup, what `SharedArray::ptr` executes) against the
+/// UPC-direct path (mask + shift). On a wide out-of-order host the
+/// full-access ratio hides behind the memory op; on the paper's slow
+/// in-order cores every instruction of the longer path serializes, so the
+/// path-length ratio is the right multiplier for the PGAS software
+/// constant (see DESIGN.md).
+pub fn layout_path_ratio(samples: usize) -> f64 {
+    use std::hint::black_box;
+    let ranks = black_box(1024usize);
+    let block = black_box(1usize);
+    let size = black_box(1usize << 20);
+    let bases: Vec<usize> = (0..ranks).map(|r| black_box(r * 0x10000)).collect();
+    let mask = ranks - 1;
+    let shift = ranks.trailing_zeros();
+    let mut rng = GupsRng::new();
+    let idxs: Vec<usize> = (0..samples).map(|_| rng.next_u64() as usize % size).collect();
+
+    // Proxy path: what SharedArray::ptr computes per access.
+    let proxy_once = || {
+        let t = Timer::start();
+        let mut acc = 0usize;
+        for &i in &idxs {
+            assert!(i < size, "bounds check is part of the path");
+            let blk = i / block;
+            let rank = blk % ranks;
+            let slot = (blk / ranks) * block + (i % block);
+            acc = acc.wrapping_add(bases[rank] + slot * 8);
+        }
+        black_box(acc);
+        t.seconds()
+    };
+    // Direct path: mask + shift, no bounds check, no division.
+    let direct_once = || {
+        let t = Timer::start();
+        let mut acc = 0usize;
+        for &i in &idxs {
+            let rank = i & mask;
+            let slot = i >> shift;
+            acc = acc.wrapping_add(bases[rank] + slot * 8);
+        }
+        black_box(acc);
+        t.seconds()
+    };
+    // Min-of-trials suppresses scheduler noise on busy hosts: the fastest
+    // observation is the closest to the true code-path cost.
+    let mut proxy = f64::INFINITY;
+    let mut direct = f64::INFINITY;
+    for _ in 0..7 {
+        proxy = proxy.min(proxy_once());
+        direct = direct.min(direct_once());
+    }
+    (proxy / direct).max(1.0)
+}
+
+/// Measure per-point software cost of the stencil compute paths, in
+/// seconds per point: `(generic, optimized)`.
+pub fn stencil_software_costs(edge: usize, iters: usize) -> (f64, f64) {
+    use rupcxx_apps::stencil::{run, StencilConfig, Variant};
+    let cfgs = move |variant| StencilConfig {
+        local_edge: edge,
+        grid: (1, 1, 1),
+        iters,
+        variant,
+        c: 0.1,
+    };
+    let pts = (edge * edge * edge * iters) as f64;
+    let generic = spmd(RuntimeConfig::new(1).segment_mib(64), move |ctx| {
+        run(ctx, &cfgs(Variant::Generic)).seconds
+    })[0]
+        / pts;
+    let optimized = spmd(RuntimeConfig::new(1).segment_mib(64), move |ctx| {
+        run(ctx, &cfgs(Variant::Optimized)).seconds
+    })[0]
+        / pts;
+    (generic, optimized)
+}
+
+/// Measure the end-to-end per-key software cost of a single-rank sample
+/// sort (generation + sampling + partition + local sort), seconds/key.
+pub fn sort_software_cost(keys: usize) -> f64 {
+    use rupcxx_apps::sample_sort::{run, SortConfig, Variant};
+    let secs = spmd(RuntimeConfig::new(1).segment_mib(64), move |ctx| {
+        run(
+            ctx,
+            &SortConfig {
+                keys_per_rank: keys,
+                oversample: 32,
+                variant: Variant::Upcxx,
+                seed: 3,
+            },
+        )
+        .seconds
+    })[0];
+    secs / keys as f64
+}
+
+/// Measure the single-rank render time of the benchmark scene (seconds)
+/// for the given image size and sampling rate.
+pub fn ray_single_rank_seconds(width: usize, height: usize, spp: usize) -> f64 {
+    use rupcxx_apps::ray::{run, RayConfig};
+    spmd(RuntimeConfig::new(1).segment_mib(16), move |ctx| {
+        run(
+            ctx,
+            &RayConfig {
+                width,
+                height,
+                spp,
+                tile: 16,
+                threads_per_rank: 1,
+                nspheres: 8,
+                seed: 5,
+            },
+        )
+        .seconds
+    })[0]
+}
+
+/// Measure per-zone-step software cost of MiniLulesh (seconds).
+pub fn lulesh_software_cost(edge: usize, steps: usize) -> f64 {
+    use rupcxx_apps::lulesh::{run, LuleshConfig, Transport};
+    let secs = spmd(RuntimeConfig::new(1).segment_mib(64), move |ctx| {
+        run(
+            ctx,
+            &LuleshConfig {
+                edge,
+                q: 1,
+                steps,
+                transport: Transport::OneSided,
+            },
+            None,
+        )
+        .seconds
+    })[0];
+    secs / (edge * edge * edge * steps) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_flops_plausible() {
+        let c = Calibration::measure();
+        assert!(
+            c.host_flops > 1e8 && c.host_flops < 1e11,
+            "host flops {:.3e}",
+            c.host_flops
+        );
+    }
+
+    #[test]
+    fn gups_costs_positive_and_direct_not_slower_by_much() {
+        let (proxy, direct) = gups_software_costs(14, 200_000);
+        assert!(proxy > 0.0 && direct > 0.0);
+        // The direct path must not be significantly slower than the proxy
+        // path (it is the strictly-less-work baseline).
+        assert!(direct < proxy * 1.5, "proxy {proxy:.2e} direct {direct:.2e}");
+    }
+
+    #[test]
+    fn stencil_optimized_faster() {
+        let (generic, optimized) = stencil_software_costs(24, 2);
+        assert!(optimized < generic, "generic {generic:.2e} vs optimized {optimized:.2e}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Affinity-driven loops — the `upc_forall` row of the paper's Table I.
+//!
+//! UPC's `upc_forall(init; cond; incr; affinity) stmt` runs each iteration
+//! on the thread named by the affinity expression. The paper's UPC++
+//! equivalent is the plain rewrite
+//! `for (...) { if (affinity_cond) { stmts } }`; these helpers package
+//! that rewrite so the common affinity forms read like the original.
+
+use crate::shared_array::SharedArray;
+use rupcxx_net::Pod;
+use rupcxx_runtime::Ctx;
+
+impl<T: Pod> SharedArray<T> {
+    /// `upc_forall(i = 0; i < n; i++; &A[i])`: run `body(i)` on the rank
+    /// with affinity to element `i` — i.e. iterate exactly the elements
+    /// this rank owns, in increasing index order.
+    pub fn forall(&self, ctx: &Ctx, mut body: impl FnMut(usize)) {
+        for i in self.my_indices(ctx).collect::<Vec<_>>() {
+            body(i);
+        }
+    }
+}
+
+/// `upc_forall(i = 0; i < n; i++; i)`: integer affinity — iteration `i`
+/// runs on rank `i % ranks()`.
+pub fn forall_cyclic(ctx: &Ctx, n: usize, mut body: impl FnMut(usize)) {
+    let mut i = ctx.rank();
+    while i < n {
+        body(i);
+        i += ctx.ranks();
+    }
+}
+
+/// Blocked integer affinity: iteration `i` runs on rank
+/// `i / ceil(n / ranks())` — the other common `upc_forall` idiom.
+pub fn forall_blocked(ctx: &Ctx, n: usize, mut body: impl FnMut(usize)) {
+    let chunk = n.div_ceil(ctx.ranks()).max(1);
+    let lo = ctx.rank() * chunk;
+    let hi = (lo + chunk).min(n);
+    for i in lo..hi {
+        body(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupcxx_runtime::{spmd, RuntimeConfig};
+
+    fn cfg(n: usize) -> RuntimeConfig {
+        RuntimeConfig::new(n).segment_bytes(1 << 16)
+    }
+
+    #[test]
+    fn forall_cyclic_partitions() {
+        let out = spmd(cfg(3), |ctx| {
+            let mut mine = vec![];
+            forall_cyclic(ctx, 11, |i| mine.push(i));
+            for &i in &mine {
+                assert_eq!(i % 3, ctx.rank());
+            }
+            mine
+        });
+        let mut all: Vec<usize> = out.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forall_blocked_partitions() {
+        let out = spmd(cfg(4), |ctx| {
+            let mut mine = vec![];
+            forall_blocked(ctx, 10, |i| mine.push(i));
+            mine
+        });
+        assert_eq!(out[0], vec![0, 1, 2]);
+        assert_eq!(out[1], vec![3, 4, 5]);
+        assert_eq!(out[2], vec![6, 7, 8]);
+        assert_eq!(out[3], vec![9]);
+    }
+
+    #[test]
+    fn shared_array_forall_matches_affinity() {
+        spmd(cfg(4), |ctx| {
+            let a = SharedArray::<u64>::new(ctx, 40, 3);
+            a.forall(ctx, |i| {
+                assert_eq!(a.owner(i), ctx.rank());
+                a.write(ctx, i, i as u64 * 2);
+            });
+            ctx.barrier();
+            let total: u64 = ctx.allreduce(
+                {
+                    let mut s = 0;
+                    a.forall(ctx, |i| s += a.read(ctx, i));
+                    s
+                },
+                |x, y| x + y,
+            );
+            assert_eq!(total, (0..40u64).map(|i| i * 2).sum());
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn empty_ranges() {
+        spmd(cfg(2), |ctx| {
+            forall_cyclic(ctx, 0, |_| panic!("no iterations"));
+            forall_blocked(ctx, 0, |_| panic!("no iterations"));
+        });
+    }
+}

@@ -1,0 +1,107 @@
+//! Dynamic global memory management (paper §III-C).
+//!
+//! `allocate<T>(rank, n)` reserves global storage for `n` elements of `T`
+//! in `rank`'s segment — local **or remote**, the UPC++ feature unavailable
+//! in UPC and MPI that makes distributed data structures (linked lists,
+//! hash tables, directories) convenient. `deallocate` may be called from
+//! any rank.
+//!
+//! As in the paper, `allocate` does not run constructors; use
+//! [`allocate_init`] to allocate and fill in one call (the moral
+//! equivalent of placement-new).
+
+use crate::global_ptr::GlobalPtr;
+use rupcxx_net::{Pod, Rank};
+use rupcxx_runtime::alloc::OutOfSegmentMemory;
+use rupcxx_runtime::Ctx;
+
+/// Allocate global storage for `count` elements of `T` on `rank`.
+/// The contents are unspecified (fresh segments read as zero, reused blocks
+/// keep stale bytes): no constructor runs, matching the paper's semantics —
+/// initialize explicitly or use [`allocate_init`].
+pub fn allocate<T: Pod>(
+    ctx: &Ctx,
+    rank: Rank,
+    count: usize,
+) -> Result<GlobalPtr<T>, OutOfSegmentMemory> {
+    let bytes = std::mem::size_of::<T>() * count.max(1);
+    let addr = ctx.alloc_on(rank, bytes)?;
+    Ok(GlobalPtr::from_addr(addr))
+}
+
+/// Allocate and initialize every element with `init` (the placement-new
+/// pattern from the paper, fused for convenience).
+pub fn allocate_init<T: Pod>(
+    ctx: &Ctx,
+    rank: Rank,
+    count: usize,
+    init: T,
+) -> Result<GlobalPtr<T>, OutOfSegmentMemory> {
+    let ptr = allocate::<T>(ctx, rank, count)?;
+    let values = vec![init; count];
+    ptr.rput_slice(ctx, &values);
+    Ok(ptr)
+}
+
+/// Free storage returned by [`allocate`]. Callable from any rank.
+pub fn deallocate<T: Pod>(ctx: &Ctx, ptr: GlobalPtr<T>) {
+    ctx.free(ptr.addr());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupcxx_runtime::{spmd, RuntimeConfig};
+
+    fn cfg(n: usize) -> RuntimeConfig {
+        RuntimeConfig::new(n).segment_bytes(1 << 16)
+    }
+
+    #[test]
+    fn allocate_on_remote_rank() {
+        spmd(cfg(3), |ctx| {
+            if ctx.rank() == 0 {
+                // The paper's example: allocate space for 64 ints on rank 2.
+                let sp = allocate::<i64>(ctx, 2, 64).expect("alloc");
+                assert_eq!(sp.where_(), 2);
+                assert_eq!(ctx.segment_in_use(2), 64 * 8);
+                deallocate(ctx, sp);
+                assert_eq!(ctx.segment_in_use(2), 0);
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn allocate_init_fills() {
+        spmd(cfg(2), |ctx| {
+            if ctx.rank() == 1 {
+                let p = allocate_init::<f64>(ctx, 0, 5, 2.5).expect("alloc");
+                let mut out = [0.0; 5];
+                p.rget_slice(ctx, &mut out);
+                assert_eq!(out, [2.5; 5]);
+                deallocate(ctx, p);
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn fresh_segment_reads_zero() {
+        spmd(cfg(1), |ctx| {
+            let p = allocate::<u64>(ctx, 0, 8).expect("alloc");
+            let mut out = [1u64; 8];
+            p.rget_slice(ctx, &mut out);
+            assert_eq!(out, [0u64; 8]);
+            deallocate(ctx, p);
+        });
+    }
+
+    #[test]
+    fn exhaustion_reports_error() {
+        spmd(RuntimeConfig::new(1).segment_bytes(1024), |ctx| {
+            let err = allocate::<u64>(ctx, 0, 1_000_000).unwrap_err();
+            assert!(err.requested >= 8_000_000);
+        });
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared scalar variables (paper §III-A).
+//!
+//! A [`SharedVar<T>`] is a single memory location in the global address
+//! space, stored on a home rank (rank 0 by default, as in UPC) and
+//! readable/writable by every rank — the UPC++ `shared_var<T>`.
+
+use crate::global_ptr::GlobalPtr;
+use crate::mem::allocate;
+use rupcxx_net::{GlobalAddr, Pod};
+use rupcxx_runtime::Ctx;
+
+/// A shared scalar in the global address space.
+///
+/// Construction is collective: every rank must call [`SharedVar::new`]
+/// (the home rank allocates, the address is broadcast). Afterwards any
+/// rank may [`read`](SharedVar::read) or [`write`](SharedVar::write) it
+/// directly — the paper's `s = 1; int a = s;`.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedVar<T: Pod> {
+    ptr: GlobalPtr<T>,
+}
+
+impl<T: Pod> SharedVar<T> {
+    /// Collectively create a shared variable on rank 0 with `init` value.
+    pub fn new(ctx: &Ctx, init: T) -> Self {
+        Self::on_rank(ctx, 0, init)
+    }
+
+    /// Collectively create a shared variable homed on `home`.
+    pub fn on_rank(ctx: &Ctx, home: rupcxx_net::Rank, init: T) -> Self {
+        let ptr = if ctx.rank() == home {
+            let p = allocate::<T>(ctx, home, 1).expect("segment memory for SharedVar");
+            p.rput(ctx, init);
+            ctx.broadcast(home, [p.addr().rank as u64, p.addr().offset as u64]);
+            p
+        } else {
+            let a = ctx.broadcast(home, [0u64; 2]);
+            GlobalPtr::from_addr(GlobalAddr::new(a[0] as usize, a[1] as usize))
+        };
+        SharedVar { ptr }
+    }
+
+    /// Read the value (rvalue use).
+    pub fn read(&self, ctx: &Ctx) -> T {
+        self.ptr.rget(ctx)
+    }
+
+    /// Write the value (lvalue use).
+    pub fn write(&self, ctx: &Ctx, value: T) {
+        self.ptr.rput(ctx, value)
+    }
+
+    /// The underlying global pointer.
+    pub fn ptr(&self) -> GlobalPtr<T> {
+        self.ptr
+    }
+
+    /// Collectively destroy: frees the storage (home rank frees, all ranks
+    /// synchronize).
+    pub fn destroy(self, ctx: &Ctx) {
+        ctx.barrier();
+        if ctx.rank() == self.ptr.where_() {
+            crate::mem::deallocate(ctx, self.ptr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupcxx_runtime::{spmd, RuntimeConfig};
+
+    fn cfg(n: usize) -> RuntimeConfig {
+        RuntimeConfig::new(n).segment_bytes(1 << 16)
+    }
+
+    #[test]
+    fn all_ranks_see_writes() {
+        spmd(cfg(4), |ctx| {
+            let s = SharedVar::<u64>::new(ctx, 7);
+            assert_eq!(s.read(ctx), 7);
+            ctx.barrier();
+            if ctx.rank() == 3 {
+                s.write(ctx, 1234);
+            }
+            ctx.barrier();
+            assert_eq!(s.read(ctx), 1234);
+            s.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn homed_on_nonzero_rank() {
+        spmd(cfg(3), |ctx| {
+            let s = SharedVar::<f64>::on_rank(ctx, 2, 1.5);
+            assert_eq!(s.ptr().where_(), 2);
+            assert_eq!(s.read(ctx), 1.5);
+            s.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn single_rank() {
+        spmd(cfg(1), |ctx| {
+            let s = SharedVar::<i64>::new(ctx, -9);
+            s.write(ctx, 10);
+            assert_eq!(s.read(ctx), 10);
+            s.destroy(ctx);
+        });
+    }
+}

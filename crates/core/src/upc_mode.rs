@@ -1,0 +1,132 @@
+//! "UPC mode": a direct shared-array access path modeling the Berkeley
+//! UPC compiler's optimized codegen.
+//!
+//! The paper observes (§V-A) that UPC outperforms UPC++ by ~10 % on GUPS at
+//! small scale because "the Berkeley UPC compiler and runtime are heavily
+//! optimized for shared array accesses": the compiler strength-reduces the
+//! block-cyclic layout computation (bit masks instead of division for
+//! power-of-two geometry) and elides the proxy-object machinery.
+//!
+//! [`UpcDirectTable`] is our rendering of that baseline: it snapshots a
+//! cyclic [`SharedArray<u64>`]'s directory and pre-computes shift/mask
+//! constants, so an element access is mask → shift → word RMA with no
+//! division, no bounds check and no proxy indirection. Benchmarks compare
+//! it against the general [`SharedArray`] path (the "UPC++" curve).
+
+use crate::shared_array::SharedArray;
+use rupcxx_net::{GlobalAddr, Rank};
+use rupcxx_runtime::Ctx;
+use std::sync::Arc;
+
+/// Direct-access view of a cyclic `SharedArray<u64>` whose rank count is a
+/// power of two — the UPC-compiler fast path.
+#[derive(Clone, Debug)]
+pub struct UpcDirectTable {
+    bases: Arc<[GlobalAddr]>,
+    rank_mask: usize,
+    rank_shift: u32,
+}
+
+impl UpcDirectTable {
+    /// Build the direct view. Requires block size 1 (cyclic, UPC's default)
+    /// and a power-of-two rank count; returns `None` otherwise (UPC falls
+    /// back to its general path in the same situations).
+    pub fn new(ctx: &Ctx, array: &SharedArray<u64>) -> Option<Self> {
+        let n = ctx.ranks();
+        if array.block_size() != 1 || !n.is_power_of_two() {
+            return None;
+        }
+        let bases: Vec<GlobalAddr> = (0..n).map(|r| array.base_of(r).addr()).collect();
+        Some(UpcDirectTable {
+            bases: bases.into(),
+            rank_mask: n - 1,
+            rank_shift: n.trailing_zeros(),
+        })
+    }
+
+    /// Rank owning element `i` (mask, no division).
+    #[inline(always)]
+    pub fn owner(&self, i: usize) -> Rank {
+        i & self.rank_mask
+    }
+
+    /// Resolve element `i` to its global address (shift + mask only).
+    #[inline(always)]
+    fn addr(&self, i: usize) -> GlobalAddr {
+        let rank = i & self.rank_mask;
+        let slot = i >> self.rank_shift;
+        self.bases[rank].add(slot * 8)
+    }
+
+    /// Direct word read.
+    #[inline(always)]
+    pub fn read(&self, ctx: &Ctx, i: usize) -> u64 {
+        ctx.fabric().get_u64(ctx.rank(), self.addr(i))
+    }
+
+    /// Direct word write.
+    #[inline(always)]
+    pub fn write(&self, ctx: &Ctx, i: usize, value: u64) {
+        ctx.fabric().put_u64(ctx.rank(), self.addr(i), value)
+    }
+
+    /// Direct xor update (the GUPS kernel step).
+    #[inline(always)]
+    pub fn xor(&self, ctx: &Ctx, i: usize, value: u64) {
+        ctx.fabric().xor_u64(ctx.rank(), self.addr(i), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupcxx_runtime::{spmd, RuntimeConfig};
+
+    fn cfg(n: usize) -> RuntimeConfig {
+        RuntimeConfig::new(n).segment_bytes(1 << 18)
+    }
+
+    #[test]
+    fn direct_view_agrees_with_shared_array() {
+        spmd(cfg(4), |ctx| {
+            let a = SharedArray::<u64>::new(ctx, 64, 1);
+            let direct = UpcDirectTable::new(ctx, &a).expect("pow2 geometry");
+            if ctx.rank() == 0 {
+                for i in 0..64 {
+                    direct.write(ctx, i, i as u64 + 1000);
+                }
+            }
+            ctx.barrier();
+            for i in (0..64).step_by(7) {
+                assert_eq!(a.read(ctx, i), i as u64 + 1000);
+                assert_eq!(direct.read(ctx, i), i as u64 + 1000);
+                assert_eq!(direct.owner(i), a.owner(i));
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                direct.xor(ctx, 8, 0xFF);
+            }
+            ctx.barrier();
+            assert_eq!(a.read(ctx, 8), 1008 ^ 0xFF);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn non_pow2_ranks_fall_back() {
+        spmd(cfg(3), |ctx| {
+            let a = SharedArray::<u64>::new(ctx, 9, 1);
+            assert!(UpcDirectTable::new(ctx, &a).is_none());
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn blocked_arrays_fall_back() {
+        spmd(cfg(2), |ctx| {
+            let a = SharedArray::<u64>::new(ctx, 16, 4);
+            assert!(UpcDirectTable::new(ctx, &a).is_none());
+            a.destroy(ctx);
+        });
+    }
+}

@@ -1,0 +1,28 @@
+//! `rupcxx-mpi` — a two-sided, matched message-passing layer over the
+//! `rupcxx` fabric: the **MPI baseline** of the paper's LULESH study (§V-E).
+//!
+//! The paper compares UPC++'s one-sided `async_copy` against MPI's
+//! two-sided `MPI_Isend`/`MPI_Irecv`. To reproduce that comparison without
+//! an MPI installation, this crate implements the essential two-sided
+//! machinery from scratch, over the same fabric the PGAS layer uses:
+//!
+//! * **tag matching**: posted-receive list + unexpected-message queue per
+//!   rank, matched FIFO by `(source, tag)` with `ANY_SOURCE` support;
+//! * **eager protocol** for small messages: the payload travels inside the
+//!   active message and is *copied* into the receive buffer on match (the
+//!   extra copy + matching work is exactly the software overhead one-sided
+//!   communication avoids);
+//! * **rendezvous protocol** for large messages: the sender stages the
+//!   payload in its segment and sends a ready-to-send header; the matched
+//!   receiver pulls the payload with a one-sided get and notifies the
+//!   sender — mirroring real MPI RDMA rendezvous.
+//!
+//! A [`MpiWorld`] is created before `spmd` and captured by the rank
+//! closure; `world.comm(ctx)` yields the per-rank communicator handle.
+
+pub mod matching;
+pub mod requests;
+pub mod world;
+
+pub use requests::{RecvReq, SendReq};
+pub use world::{Comm, MpiWorld, ANY_SOURCE, DEFAULT_EAGER_LIMIT};

@@ -1,0 +1,170 @@
+//! Tag matching: the heart of two-sided semantics.
+//!
+//! Each rank owns a [`MatchEngine`]: a FIFO list of posted receives and a
+//! FIFO queue of unexpected messages. An incoming message matches the
+//! earliest posted receive with equal tag and compatible source; a posted
+//! receive matches the earliest unexpected message likewise. This ordering
+//! is MPI's non-overtaking rule restricted to per-(source, tag) streams,
+//! which the FIFO fabric guarantees.
+
+use crate::requests::RecvState;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Source wildcard (`MPI_ANY_SOURCE`).
+pub(crate) const ANY: usize = usize::MAX;
+
+/// What arrives at the receiver: an eager payload or a rendezvous header.
+#[derive(Debug)]
+pub(crate) enum Incoming {
+    Eager(Vec<u8>),
+    /// Ready-to-send: where to pull the staged payload from, and how the
+    /// sender wants to be notified (handled by the world layer).
+    Rendezvous {
+        staged: rupcxx_net::GlobalAddr,
+        len: usize,
+        token: u64,
+    },
+}
+
+#[derive(Debug)]
+pub(crate) struct Unexpected {
+    pub(crate) src: usize,
+    pub(crate) tag: u64,
+    pub(crate) body: Incoming,
+}
+
+#[derive(Debug)]
+pub(crate) struct Posted {
+    pub(crate) src: usize, // ANY for wildcard
+    pub(crate) tag: u64,
+    pub(crate) state: Arc<RecvState>,
+}
+
+/// Per-rank matching state.
+#[derive(Debug, Default)]
+pub(crate) struct MatchEngine {
+    posted: VecDeque<Posted>,
+    unexpected: VecDeque<Unexpected>,
+}
+
+impl MatchEngine {
+    /// Deliver an incoming message: either hand it to a matching posted
+    /// receive (returning the receive's state) or enqueue it unexpected.
+    pub(crate) fn deliver(
+        &mut self,
+        src: usize,
+        tag: u64,
+        body: Incoming,
+    ) -> Option<(Arc<RecvState>, Incoming)> {
+        if let Some(pos) = self
+            .posted
+            .iter()
+            .position(|p| p.tag == tag && (p.src == ANY || p.src == src))
+        {
+            let posted = self.posted.remove(pos).expect("index valid");
+            Some((posted.state, body))
+        } else {
+            self.unexpected.push_back(Unexpected { src, tag, body });
+            None
+        }
+    }
+
+    /// Post a receive: either match an unexpected message (returning it)
+    /// or enqueue the receive.
+    pub(crate) fn post(
+        &mut self,
+        src: usize,
+        tag: u64,
+        state: Arc<RecvState>,
+    ) -> Option<(usize, Incoming)> {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|u| u.tag == tag && (src == ANY || u.src == src))
+        {
+            let u = self.unexpected.remove(pos).expect("index valid");
+            Some((u.src, u.body))
+        } else {
+            self.posted.push_back(Posted { src, tag, state });
+            None
+        }
+    }
+
+    /// Counts, for tests and diagnostics: (posted, unexpected).
+    #[cfg(test)]
+    pub(crate) fn depths(&self) -> (usize, usize) {
+        (self.posted.len(), self.unexpected.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eager(v: &[u8]) -> Incoming {
+        Incoming::Eager(v.to_vec())
+    }
+
+    #[test]
+    fn unexpected_then_post_matches() {
+        let mut m = MatchEngine::default();
+        assert!(m.deliver(1, 7, eager(&[1])).is_none());
+        assert_eq!(m.depths(), (0, 1));
+        let got = m.post(1, 7, RecvState::new());
+        let (src, body) = got.expect("must match");
+        assert_eq!(src, 1);
+        match body {
+            Incoming::Eager(v) => assert_eq!(v, vec![1]),
+            other => panic!("wrong body {other:?}"),
+        }
+        assert_eq!(m.depths(), (0, 0));
+    }
+
+    #[test]
+    fn post_then_deliver_matches() {
+        let mut m = MatchEngine::default();
+        let st = RecvState::new();
+        assert!(m.post(2, 5, st.clone()).is_none());
+        let (state, _) = m.deliver(2, 5, eager(&[9])).expect("match");
+        assert!(Arc::ptr_eq(&state, &st));
+    }
+
+    #[test]
+    fn tag_and_source_must_match() {
+        let mut m = MatchEngine::default();
+        assert!(m.post(1, 7, RecvState::new()).is_none());
+        // Wrong tag goes unexpected.
+        assert!(m.deliver(1, 8, eager(&[])).is_none());
+        // Wrong source goes unexpected.
+        assert!(m.deliver(2, 7, eager(&[])).is_none());
+        assert_eq!(m.depths(), (1, 2));
+        // Right source+tag matches the posted receive.
+        assert!(m.deliver(1, 7, eager(&[])).is_some());
+    }
+
+    #[test]
+    fn any_source_matches_first_arrival() {
+        let mut m = MatchEngine::default();
+        assert!(m.deliver(3, 1, eager(&[3])).is_none());
+        assert!(m.deliver(2, 1, eager(&[2])).is_none());
+        let (src, _) = m.post(ANY, 1, RecvState::new()).expect("match");
+        assert_eq!(src, 3, "FIFO: earliest unexpected wins");
+    }
+
+    #[test]
+    fn fifo_matching_per_source_tag() {
+        let mut m = MatchEngine::default();
+        m.deliver(1, 1, eager(&[10]));
+        m.deliver(1, 1, eager(&[20]));
+        let (_, first) = m.post(1, 1, RecvState::new()).unwrap();
+        let (_, second) = m.post(1, 1, RecvState::new()).unwrap();
+        match (first, second) {
+            (Incoming::Eager(a), Incoming::Eager(b)) => {
+                assert_eq!(a, vec![10]);
+                assert_eq!(b, vec![20]);
+            }
+            _ => panic!("wrong bodies"),
+        }
+    }
+}

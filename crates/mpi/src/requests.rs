@@ -1,0 +1,115 @@
+//! Request handles for non-blocking operations (`MPI_Request` analogues).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Completion state of a receive: buffer + done flag + matched source.
+#[derive(Debug)]
+pub(crate) struct RecvState {
+    pub(crate) data: Mutex<Option<Vec<u8>>>,
+    pub(crate) source: Mutex<Option<usize>>,
+    pub(crate) done: AtomicBool,
+}
+
+impl RecvState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(RecvState {
+            data: Mutex::new(None),
+            source: Mutex::new(None),
+            done: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn complete(&self, src: usize, payload: Vec<u8>) {
+        *self.data.lock() = Some(payload);
+        *self.source.lock() = Some(src);
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Handle for a non-blocking receive (`MPI_Irecv`).
+#[derive(Clone, Debug)]
+pub struct RecvReq {
+    pub(crate) state: Arc<RecvState>,
+}
+
+impl RecvReq {
+    /// True when the message has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn take(&self) -> (usize, Vec<u8>) {
+        let src = self.state.source.lock().expect("recv not complete");
+        let data = self
+            .state
+            .data
+            .lock()
+            .take()
+            .expect("recv payload already taken");
+        (src, data)
+    }
+}
+
+/// Handle for a non-blocking send (`MPI_Isend`).
+#[derive(Clone, Debug)]
+pub struct SendReq {
+    pub(crate) done: Arc<AtomicBool>,
+}
+
+impl SendReq {
+    pub(crate) fn completed() -> Self {
+        SendReq {
+            done: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    pub(crate) fn pending() -> Self {
+        SendReq {
+            done: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// True when the send buffer may be reused (eager: immediately;
+    /// rendezvous: after the receiver has pulled the data).
+    pub fn is_complete(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recv_state_lifecycle() {
+        let s = RecvState::new();
+        let req = RecvReq { state: s.clone() };
+        assert!(!req.is_complete());
+        s.complete(3, vec![1, 2]);
+        assert!(req.is_complete());
+        let (src, data) = req.take();
+        assert_eq!(src, 3);
+        assert_eq!(data, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn double_take_panics() {
+        let s = RecvState::new();
+        s.complete(0, vec![]);
+        let req = RecvReq { state: s };
+        let _ = req.take();
+        let _ = req.take();
+    }
+
+    #[test]
+    fn send_req_flags() {
+        assert!(SendReq::completed().is_complete());
+        let p = SendReq::pending();
+        assert!(!p.is_complete());
+        p.done.store(true, Ordering::Release);
+        assert!(p.is_complete());
+    }
+}

@@ -1,0 +1,386 @@
+//! Multidimensional global arrays over rectangular domains (paper §III-E).
+//!
+//! An [`NdArray<T, N>`] is a descriptor: owning rank + storage base +
+//! index-space mapping + current view domain. The elements live on a single
+//! rank (possibly remote); *views* — [`restrict`](NdArray::restrict),
+//! [`slice`](NdArray::slice), [`translate`](NdArray::translate),
+//! [`permute`](NdArray::permute) — reinterpret the same storage without
+//! copying, exactly as in Titanium/UPC++.
+//!
+//! The descriptor is itself [`Pod`], so arrays compose with
+//! `rupcxx::SharedArray` to build the paper's directory of per-rank grids:
+//! `shared_array<ndarray<int,3>> dir(THREADS)` (§III-E) works verbatim as
+//! `SharedArray::<NdArray<f64, 3>>::new(ctx, ranks, 1)`.
+
+use crate::domain::RectDomain;
+use crate::point::Point;
+use rupcxx::GlobalPtr;
+use rupcxx_net::{GlobalAddr, Pod, Rank};
+use rupcxx_runtime::Ctx;
+use std::marker::PhantomData;
+
+/// A (possibly remote) N-dimensional array over a rectangular domain.
+pub struct NdArray<T: Pod, const N: usize> {
+    /// Storage base: element at the mapping origin.
+    pub(crate) base: GlobalAddr,
+    /// Logical coordinate mapped to physical index 0.
+    pub(crate) map_lo: Point<N>,
+    /// Lattice stride of the storage mapping (a "matching logical and
+    /// physical stride" array — the paper's `unstrided` — has all ones).
+    pub(crate) map_stride: Point<N>,
+    /// Physical element stride per dimension (row-major at creation).
+    pub(crate) phys: Point<N>,
+    /// Current view domain.
+    pub(crate) domain: RectDomain<N>,
+    pub(crate) _elem: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod, const N: usize> Clone for NdArray<T, N> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod, const N: usize> Copy for NdArray<T, N> {}
+
+// SAFETY: all fields are `GlobalAddr` (two usize) / `Point` ([i64; N]) —
+// 8-byte aligned, no padding, every bit pattern valid; PhantomData is a ZST.
+unsafe impl<T: Pod, const N: usize> Pod for NdArray<T, N> {}
+
+impl<T: Pod, const N: usize> NdArray<T, N> {
+    /// Allocate a fresh array over `domain` in the calling rank's segment
+    /// (the paper's `ARRAY(T, (...))`). Contents are unspecified until
+    /// written; see [`NdArray::fill`].
+    pub fn new(ctx: &Ctx, domain: RectDomain<N>) -> Self {
+        let elems = domain.size().max(1);
+        let bytes = elems * std::mem::size_of::<T>();
+        let base = ctx
+            .alloc_on(ctx.rank(), bytes)
+            .expect("segment memory for NdArray");
+        // Row-major physical strides from the domain extents.
+        let mut phys = Point::<N>::zero();
+        let mut acc = 1i64;
+        for d in (0..N).rev() {
+            phys[d] = acc;
+            acc *= domain.extent(d) as i64;
+        }
+        NdArray {
+            base,
+            map_lo: domain.lo(),
+            map_stride: domain.stride(),
+            phys,
+            domain,
+            _elem: PhantomData,
+        }
+    }
+
+    /// The view's domain.
+    pub fn domain(&self) -> RectDomain<N> {
+        self.domain
+    }
+
+    /// The rank owning the storage.
+    pub fn owner(&self) -> Rank {
+        self.base.rank
+    }
+
+    /// True when the storage mapping has matching logical and physical
+    /// stride (no division needed to index) — the paper's `unstrided`
+    /// template specialization.
+    pub fn is_unstrided(&self) -> bool {
+        self.map_stride == Point::ones()
+    }
+
+    /// Physical element index of logical point `p` (no bounds check).
+    #[inline]
+    pub(crate) fn phys_index(&self, p: Point<N>) -> i64 {
+        let mut idx = 0i64;
+        if self.is_unstrided() {
+            for d in 0..N {
+                idx += (p[d] - self.map_lo[d]) * self.phys[d];
+            }
+        } else {
+            for d in 0..N {
+                idx += ((p[d] - self.map_lo[d]) / self.map_stride[d]) * self.phys[d];
+            }
+        }
+        idx
+    }
+
+    /// Global pointer to the element at `p` (bounds-checked against the
+    /// view domain).
+    pub fn addr_of(&self, p: Point<N>) -> GlobalPtr<T> {
+        assert!(
+            self.domain.contains(p),
+            "NdArray index {p} outside domain {}",
+            self.domain
+        );
+        let idx = self.phys_index(p);
+        debug_assert!(idx >= 0);
+        GlobalPtr::from_addr(self.base.add(idx as usize * std::mem::size_of::<T>()))
+    }
+
+    /// Read the element at `p` (one-sided if remote) — `array[pt]`.
+    pub fn get(&self, ctx: &Ctx, p: Point<N>) -> T {
+        self.addr_of(p).rget(ctx)
+    }
+
+    /// Write the element at `p` (one-sided if remote).
+    pub fn set(&self, ctx: &Ctx, p: Point<N>, value: T) {
+        self.addr_of(p).rput(ctx, value)
+    }
+
+    /// Restrict the view to `dom ∩ domain` (the paper's
+    /// `A.constrict(ghost_domain)`): same storage, smaller index space.
+    pub fn restrict(&self, dom: RectDomain<N>) -> Self {
+        let mut out = *self;
+        out.domain = self.domain.intersect(&dom);
+        out
+    }
+
+    /// Shift the view's index space by `t`: point `p + t` of the result
+    /// refers to point `p` of `self`.
+    pub fn translate(&self, t: Point<N>) -> Self {
+        let mut out = *self;
+        out.domain = self.domain.translate(t);
+        out.map_lo = self.map_lo + t;
+        out
+    }
+
+    /// Reorder dimensions: point `q` of the result refers to point
+    /// `q.permute(perm)`... precisely, result dimension `d` is source
+    /// dimension `perm[d]`.
+    pub fn permute(&self, perm: [usize; N]) -> Self {
+        NdArray {
+            base: self.base,
+            map_lo: self.map_lo.permute(perm),
+            map_stride: self.map_stride.permute(perm),
+            phys: self.phys.permute(perm),
+            domain: self.domain.permute(perm),
+            _elem: PhantomData,
+        }
+    }
+
+    /// Fill the entire view with `value` (local or one-sided).
+    pub fn fill(&self, ctx: &Ctx, value: T) {
+        self.domain.for_each(|p| self.set(ctx, p, value));
+    }
+
+    /// Initialize each element from `f(p)`.
+    pub fn fill_with(&self, ctx: &Ctx, mut f: impl FnMut(Point<N>) -> T) {
+        self.domain.for_each(|p| self.set(ctx, p, f(p)));
+    }
+
+    /// Read the view out in lexicographic point order.
+    pub fn to_vec(&self, ctx: &Ctx) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.domain.size());
+        self.domain.for_each(|p| out.push(self.get(ctx, p)));
+        out
+    }
+
+    /// Free the storage. Call exactly once per *allocation* (not per view),
+    /// from any rank.
+    pub fn destroy(self, ctx: &Ctx) {
+        ctx.free(self.base);
+    }
+}
+
+macro_rules! impl_slice {
+    ($n:literal => $m:literal) => {
+        impl<T: Pod> NdArray<T, $n> {
+            /// Slice at `coord` along `dim`, producing a view one
+            /// dimension lower (the paper's `(N-1)`-dimensional view of an
+            /// N-dimensional array).
+            pub fn slice(&self, dim: usize, coord: i64) -> NdArray<T, $m> {
+                assert!(
+                    coord >= self.domain.lo()[dim] && coord < self.domain.hi()[dim],
+                    "slice coordinate {coord} outside domain {} in dim {dim}",
+                    self.domain
+                );
+                let steps = (coord - self.map_lo[dim]) / self.map_stride[dim];
+                let base = self
+                    .base
+                    .add((steps * self.phys[dim]) as usize * std::mem::size_of::<T>());
+                NdArray {
+                    base,
+                    map_lo: self.map_lo.drop_dim::<$m>(dim),
+                    map_stride: self.map_stride.drop_dim::<$m>(dim),
+                    phys: self.phys.drop_dim::<$m>(dim),
+                    domain: RectDomain::strided(
+                        self.domain.lo().drop_dim::<$m>(dim),
+                        self.domain.hi().drop_dim::<$m>(dim),
+                        self.domain.stride().drop_dim::<$m>(dim),
+                    ),
+                    _elem: PhantomData,
+                }
+            }
+        }
+    };
+}
+
+impl_slice!(2 => 1);
+impl_slice!(3 => 2);
+impl_slice!(4 => 3);
+
+impl<T: Pod, const N: usize> std::fmt::Debug for NdArray<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NdArray<{}, {N}>(rank {}, domain {})",
+            std::any::type_name::<T>(),
+            self.base.rank,
+            self.domain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pt, rd};
+    use rupcxx_runtime::{spmd, RuntimeConfig};
+
+    fn cfg(n: usize) -> RuntimeConfig {
+        RuntimeConfig::new(n).segment_bytes(1 << 20)
+    }
+
+    #[test]
+    fn fill_and_read_back_2d() {
+        spmd(cfg(1), |ctx| {
+            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [4, 5]));
+            a.fill_with(ctx, |p| (p[0] * 10 + p[1]) as f64);
+            assert_eq!(a.get(ctx, pt![0, 0]), 0.0);
+            assert_eq!(a.get(ctx, pt![3, 4]), 34.0);
+            assert_eq!(a.get(ctx, pt![2, 1]), 21.0);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn negative_bounds_domains() {
+        spmd(cfg(1), |ctx| {
+            let a = NdArray::<i64, 2>::new(ctx, rd!([-2, -2] .. [2, 2]));
+            a.fill_with(ctx, |p| p[0] * 100 + p[1]);
+            assert_eq!(a.get(ctx, pt![-2, -2]), -202);
+            assert_eq!(a.get(ctx, pt![1, -1]), 99);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn strided_array_indexing() {
+        spmd(cfg(1), |ctx| {
+            // Paper's array literal: domain [(1,2) .. (9,9) : (1,3)].
+            let dom = rd!([1, 2] .. [9, 9]; [1, 3]);
+            let a = NdArray::<i64, 2>::new(ctx, dom);
+            assert!(!a.is_unstrided());
+            a.fill_with(ctx, |p| p[0] * 1000 + p[1]);
+            assert_eq!(a.get(ctx, pt![1, 2]), 1002);
+            assert_eq!(a.get(ctx, pt![8, 8]), 8008);
+            assert_eq!(a.get(ctx, pt![5, 5]), 5005);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        spmd(cfg(1), |ctx| {
+            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [2, 2]));
+            let _ = a.get(ctx, pt![2, 0]);
+        });
+    }
+
+    #[test]
+    fn restrict_shares_storage() {
+        spmd(cfg(1), |ctx| {
+            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [6, 6]));
+            a.fill(ctx, 1.0);
+            let interior = a.restrict(a.domain().shrink(1));
+            assert_eq!(interior.domain(), rd!([1, 1] .. [5, 5]));
+            interior.fill(ctx, 2.0);
+            // Boundary untouched, interior updated — same storage.
+            assert_eq!(a.get(ctx, pt![0, 0]), 1.0);
+            assert_eq!(a.get(ctx, pt![1, 1]), 2.0);
+            assert_eq!(a.get(ctx, pt![4, 4]), 2.0);
+            assert_eq!(a.get(ctx, pt![5, 5]), 1.0);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn translate_view() {
+        spmd(cfg(1), |ctx| {
+            let a = NdArray::<i64, 1>::new(ctx, rd!([0] .. [4]));
+            a.fill_with(ctx, |p| p[0] * 2);
+            let t = a.translate(pt![10]);
+            assert_eq!(t.domain(), rd!([10] .. [14]));
+            assert_eq!(t.get(ctx, pt![10]), 0);
+            assert_eq!(t.get(ctx, pt![13]), 6);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn slice_3d_to_2d() {
+        spmd(cfg(1), |ctx| {
+            let a = NdArray::<i64, 3>::new(ctx, rd!([0, 0, 0] .. [3, 4, 5]));
+            a.fill_with(ctx, |p| p[0] * 100 + p[1] * 10 + p[2]);
+            // Slice plane i = 1.
+            let s = a.slice(0, 1);
+            assert_eq!(s.domain(), rd!([0, 0] .. [4, 5]));
+            assert_eq!(s.get(ctx, pt![2, 3]), 123);
+            // Slice along the middle dim: j = 2.
+            let m = a.slice(1, 2);
+            assert_eq!(m.get(ctx, pt![1, 4]), 124);
+            // Writing through a slice hits the parent.
+            s.set(ctx, pt![0, 0], -7);
+            assert_eq!(a.get(ctx, pt![1, 0, 0]), -7);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn permute_swaps_axes() {
+        spmd(cfg(1), |ctx| {
+            let a = NdArray::<i64, 2>::new(ctx, rd!([0, 0] .. [2, 3]));
+            a.fill_with(ctx, |p| p[0] * 10 + p[1]);
+            let t = a.permute([1, 0]); // transpose
+            assert_eq!(t.domain(), rd!([0, 0] .. [3, 2]));
+            assert_eq!(t.get(ctx, pt![2, 1]), 12);
+            assert_eq!(t.get(ctx, pt![0, 1]), 10);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn remote_array_access_via_descriptor() {
+        spmd(cfg(2), |ctx| {
+            // Rank 1 creates a grid; rank 0 reads it through the broadcast
+            // descriptor (the directory pattern).
+            let desc = if ctx.rank() == 1 {
+                let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [3, 3]));
+                a.fill_with(ctx, |p| (p[0] + p[1]) as f64);
+                ctx.broadcast(1, a)
+            } else {
+                ctx.broadcast(1, NdArray::<f64, 2>::read_from(&vec![0u8; std::mem::size_of::<NdArray<f64, 2>>()]))
+            };
+            assert_eq!(desc.owner(), 1);
+            let v = desc.get(ctx, pt![2, 1]);
+            assert_eq!(v, 3.0);
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                desc.destroy(ctx);
+            }
+        });
+    }
+
+    #[test]
+    fn to_vec_lexicographic() {
+        spmd(cfg(1), |ctx| {
+            let a = NdArray::<i64, 2>::new(ctx, rd!([0, 0] .. [2, 2]));
+            a.fill_with(ctx, |p| p[0] * 2 + p[1]);
+            assert_eq!(a.to_vec(ctx), vec![0, 1, 2, 3]);
+            a.destroy(ctx);
+        });
+    }
+}

@@ -1,0 +1,567 @@
+//! The fabric: N endpoints with one-sided RMA and active messages.
+//!
+//! A [`Fabric`] is shared (via `Arc`) by all rank threads. Operations name
+//! the *initiating* rank explicitly so the fabric can attribute traffic to
+//! the right endpoint's counters and distinguish local from remote accesses.
+//!
+//! One-sided RMA (`put*`/`get*`) writes directly into the target segment —
+//! the target CPU is never involved, mirroring RDMA hardware. Active
+//! messages are enqueued on the destination endpoint's inbox and executed by
+//! the destination's progress engine (`rupcxx-runtime`'s `advance()`), which
+//! mirrors GASNet's AM + polling model.
+
+use crate::segment::Segment;
+use crate::stats::{CommCounts, CommStats};
+use crate::Rank;
+use bytes::Bytes;
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// An address in the global address space: a rank plus a byte offset into
+/// that rank's segment. `rupcxx::GlobalPtr<T>` wraps this with a type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalAddr {
+    /// Owning rank.
+    pub rank: Rank,
+    /// Byte offset into the owning rank's segment.
+    pub offset: usize,
+}
+
+impl GlobalAddr {
+    /// Construct an address.
+    pub fn new(rank: Rank, offset: usize) -> Self {
+        GlobalAddr { rank, offset }
+    }
+
+    /// Address advanced by `bytes`.
+    // Deliberately named like pointer arithmetic; not an `Add` impl
+    // because the operand is a byte count, not another address.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: usize) -> Self {
+        GlobalAddr {
+            rank: self.rank,
+            offset: self.offset + bytes,
+        }
+    }
+}
+
+/// Payload of an active message.
+pub enum AmPayload {
+    /// A registered-handler invocation: handler id + packed argument bytes.
+    /// This is the paper's "pack the task function pointer and its arguments
+    /// into a contiguous buffer" path (§IV).
+    Handler {
+        /// Registered handler id (identical on all ranks).
+        id: u16,
+        /// Packed arguments.
+        args: Bytes,
+    },
+    /// An opaque boxed task — the in-process shortcut for closure `async`s.
+    Task(Box<dyn FnOnce() + Send + 'static>),
+}
+
+impl std::fmt::Debug for AmPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmPayload::Handler { id, args } => f
+                .debug_struct("Handler")
+                .field("id", id)
+                .field("args_len", &args.len())
+                .finish(),
+            AmPayload::Task(_) => f.write_str("Task(..)"),
+        }
+    }
+}
+
+/// An active message as delivered to the destination.
+#[derive(Debug)]
+pub struct AmMessage {
+    /// Sending rank.
+    pub src: Rank,
+    /// Payload.
+    pub payload: AmPayload,
+}
+
+/// One per-rank endpoint: segment + AM inbox + counters.
+pub struct Endpoint {
+    /// This rank's globally addressable memory.
+    pub segment: Segment,
+    inbox: SegQueue<AmMessage>,
+    /// Traffic counters for operations initiated by this rank.
+    pub stats: CommStats,
+}
+
+impl Endpoint {
+    fn new(segment_bytes: usize) -> Self {
+        Endpoint {
+            segment: Segment::new(segment_bytes),
+            inbox: SegQueue::new(),
+            stats: CommStats::default(),
+        }
+    }
+
+    /// Dequeue the next pending active message, if any. Called by the
+    /// owner rank's progress engine.
+    pub fn try_recv(&self) -> Option<AmMessage> {
+        let msg = self.inbox.pop();
+        if msg.is_some() {
+            self.stats.ams_handled.fetch_add(1, Ordering::Relaxed);
+        }
+        msg
+    }
+
+    /// Number of queued, not-yet-executed active messages.
+    pub fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("segment", &self.segment)
+            .field("pending", &self.inbox.len())
+            .finish()
+    }
+}
+
+/// Synthetic network timing injected into remote operations — turns the
+/// host's instantaneous shared memory into a latency/bandwidth-limited
+/// "wire", so *measured* runs exhibit the latency-bound behaviour of a
+/// real interconnect (complementing the analytic projections of
+/// `rupcxx-perfmodel`). The initiating thread busy-waits for the modeled
+/// duration, exactly like a blocking RDMA verb.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimNet {
+    /// One-way latency charged to every remote operation, in nanoseconds.
+    pub latency_ns: u64,
+    /// Wire bandwidth in bytes/µs (0 = infinite). 8000 = 8 GB/s.
+    pub bytes_per_us: u64,
+}
+
+impl SimNet {
+    /// A profile resembling a modern HPC NIC (1.3 µs, 8 GB/s).
+    pub fn hpc_nic() -> Self {
+        SimNet {
+            latency_ns: 1300,
+            bytes_per_us: 8000,
+        }
+    }
+
+    #[inline]
+    fn charge(&self, bytes: usize) {
+        let mut ns = self.latency_ns;
+        if self.bytes_per_us > 0 {
+            ns += (bytes as u64 * 1000) / self.bytes_per_us;
+        }
+        if ns == 0 {
+            return;
+        }
+        let start = std::time::Instant::now();
+        let dur = std::time::Duration::from_nanos(ns);
+        while start.elapsed() < dur {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Fabric construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricConfig {
+    /// Number of ranks (endpoints).
+    pub ranks: usize,
+    /// Segment size per rank, in bytes.
+    pub segment_bytes: usize,
+    /// Optional synthetic wire timing for remote operations.
+    pub simnet: Option<SimNet>,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            ranks: 4,
+            segment_bytes: 16 << 20,
+            simnet: None,
+        }
+    }
+}
+
+/// The communication fabric: all endpoints of an SPMD job.
+pub struct Fabric {
+    endpoints: Box<[Endpoint]>,
+    simnet: Option<SimNet>,
+}
+
+impl Fabric {
+    /// Build a fabric per `config`.
+    pub fn new(config: FabricConfig) -> Arc<Self> {
+        assert!(config.ranks > 0, "fabric needs at least one rank");
+        let endpoints = (0..config.ranks)
+            .map(|_| Endpoint::new(config.segment_bytes))
+            .collect();
+        Arc::new(Fabric {
+            endpoints,
+            simnet: config.simnet,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Access an endpoint (its segment, inbox, counters).
+    pub fn endpoint(&self, rank: Rank) -> &Endpoint {
+        &self.endpoints[rank]
+    }
+
+    /// Charge the synthetic wire for a remote transfer (no-op without a
+    /// [`SimNet`] or for rank-local operations).
+    #[inline]
+    fn wire(&self, initiator: Rank, target: Rank, bytes: usize) {
+        if initiator != target {
+            if let Some(sim) = &self.simnet {
+                sim.charge(bytes);
+            }
+        }
+    }
+
+    #[inline]
+    fn count_put(&self, initiator: Rank, target: Rank, bytes: usize) {
+        let stats = &self.endpoints[initiator].stats;
+        if initiator == target {
+            stats.local_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.puts.fetch_add(1, Ordering::Relaxed);
+            stats.put_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn count_get(&self, initiator: Rank, target: Rank, bytes: usize) {
+        let stats = &self.endpoints[initiator].stats;
+        if initiator == target {
+            stats.local_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.gets.fetch_add(1, Ordering::Relaxed);
+            stats.get_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// One-sided put: write `data` at `dst`.
+    pub fn put(&self, initiator: Rank, dst: GlobalAddr, data: &[u8]) {
+        self.count_put(initiator, dst.rank, data.len());
+        self.wire(initiator, dst.rank, data.len());
+        self.endpoints[dst.rank].segment.write_bytes(dst.offset, data);
+    }
+
+    /// One-sided get: read `buf.len()` bytes from `src`.
+    pub fn get(&self, initiator: Rank, src: GlobalAddr, buf: &mut [u8]) {
+        self.count_get(initiator, src.rank, buf.len());
+        self.wire(initiator, src.rank, buf.len());
+        self.endpoints[src.rank].segment.read_bytes(src.offset, buf);
+    }
+
+    /// Aligned 8-byte put (fast path used by shared scalars/arrays).
+    #[inline]
+    pub fn put_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
+        self.count_put(initiator, dst.rank, 8);
+        self.wire(initiator, dst.rank, 8);
+        self.endpoints[dst.rank].segment.store_u64(dst.offset, value);
+    }
+
+    /// Aligned 8-byte get (fast path).
+    #[inline]
+    pub fn get_u64(&self, initiator: Rank, src: GlobalAddr) -> u64 {
+        self.count_get(initiator, src.rank, 8);
+        self.wire(initiator, src.rank, 8);
+        self.endpoints[src.rank].segment.load_u64(src.offset)
+    }
+
+    /// Remote atomic xor on an aligned u64; returns the previous value.
+    #[inline]
+    pub fn xor_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
+        self.count_put(initiator, dst.rank, 8);
+        // A remote atomic is a full round trip on real hardware.
+        self.wire(initiator, dst.rank, 8);
+        self.wire(initiator, dst.rank, 8);
+        self.endpoints[dst.rank].segment.fetch_xor_u64(dst.offset, value)
+    }
+
+    /// Remote atomic add on an aligned u64; returns the previous value.
+    #[inline]
+    pub fn add_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
+        self.count_put(initiator, dst.rank, 8);
+        self.wire(initiator, dst.rank, 8);
+        self.wire(initiator, dst.rank, 8);
+        self.endpoints[dst.rank].segment.fetch_add_u64(dst.offset, value)
+    }
+
+    /// Remote CAS on an aligned u64.
+    #[inline]
+    pub fn cas_u64(
+        &self,
+        initiator: Rank,
+        dst: GlobalAddr,
+        current: u64,
+        new: u64,
+    ) -> Result<u64, u64> {
+        self.count_put(initiator, dst.rank, 8);
+        self.wire(initiator, dst.rank, 8);
+        self.wire(initiator, dst.rank, 8);
+        self.endpoints[dst.rank].segment.cas_u64(dst.offset, current, new)
+    }
+
+    /// Strided (vector) put: write `nblocks` blocks of `block` bytes from
+    /// `src` (contiguous) to `dst`, advancing the destination by
+    /// `dst_stride` bytes between blocks. One network operation: real RDMA
+    /// NICs offer the same "iovec" capability, and the paper's ghost-zone
+    /// copies rely on it being one-sided.
+    pub fn put_strided(
+        &self,
+        initiator: Rank,
+        dst: GlobalAddr,
+        dst_stride: usize,
+        src: &[u8],
+        block: usize,
+        nblocks: usize,
+    ) {
+        assert_eq!(src.len(), block * nblocks, "put_strided: source size mismatch");
+        self.count_put(initiator, dst.rank, src.len());
+        self.wire(initiator, dst.rank, src.len());
+        let seg = &self.endpoints[dst.rank].segment;
+        for b in 0..nblocks {
+            seg.write_bytes(dst.offset + b * dst_stride, &src[b * block..(b + 1) * block]);
+        }
+    }
+
+    /// Strided (vector) get: the mirror of [`Fabric::put_strided`].
+    pub fn get_strided(
+        &self,
+        initiator: Rank,
+        src: GlobalAddr,
+        src_stride: usize,
+        buf: &mut [u8],
+        block: usize,
+        nblocks: usize,
+    ) {
+        assert_eq!(buf.len(), block * nblocks, "get_strided: buffer size mismatch");
+        self.count_get(initiator, src.rank, buf.len());
+        self.wire(initiator, src.rank, buf.len());
+        let seg = &self.endpoints[src.rank].segment;
+        for b in 0..nblocks {
+            seg.read_bytes(src.offset + b * src_stride, &mut buf[b * block..(b + 1) * block]);
+        }
+    }
+
+    /// Send an active message to `dst`. FIFO order is preserved per
+    /// (source, destination) pair.
+    pub fn send_am(&self, initiator: Rank, dst: Rank, payload: AmPayload) {
+        let am_bytes = match &payload {
+            AmPayload::Handler { args, .. } => args.len(),
+            AmPayload::Task(_) => 64, // headers of an opaque task AM
+        };
+        self.wire(initiator, dst, am_bytes);
+        let stats = &self.endpoints[initiator].stats;
+        stats.ams_sent.fetch_add(1, Ordering::Relaxed);
+        if let AmPayload::Handler { args, .. } = &payload {
+            stats.am_bytes.fetch_add(args.len() as u64, Ordering::Relaxed);
+        }
+        self.endpoints[dst].inbox.push(AmMessage {
+            src: initiator,
+            payload,
+        });
+    }
+
+    /// Aggregate traffic snapshot over all endpoints.
+    pub fn total_counts(&self) -> CommCounts {
+        self.endpoints
+            .iter()
+            .map(|e| e.stats.snapshot())
+            .fold(CommCounts::default(), |acc, c| acc.merged(&c))
+    }
+
+    /// Reset every endpoint's counters.
+    pub fn reset_counts(&self) {
+        for e in self.endpoints.iter() {
+            e.stats.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric").field("ranks", &self.ranks()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(ranks: usize) -> Arc<Fabric> {
+        Fabric::new(FabricConfig {
+            ranks,
+            segment_bytes: 4096,
+            simnet: None,
+        })
+    }
+
+    #[test]
+    fn put_get_roundtrip_remote() {
+        let f = fabric(2);
+        let addr = GlobalAddr::new(1, 16);
+        f.put(0, addr, &[1, 2, 3, 4]);
+        let mut out = [0u8; 4];
+        f.get(0, addr, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+        let c = f.endpoint(0).stats.snapshot();
+        assert_eq!(c.puts, 1);
+        assert_eq!(c.gets, 1);
+        assert_eq!(c.put_bytes, 4);
+        assert_eq!(c.get_bytes, 4);
+    }
+
+    #[test]
+    fn local_ops_counted_separately() {
+        let f = fabric(2);
+        f.put_u64(1, GlobalAddr::new(1, 0), 42);
+        let c = f.endpoint(1).stats.snapshot();
+        assert_eq!(c.puts, 0);
+        assert_eq!(c.local_ops, 1);
+        assert_eq!(f.get_u64(1, GlobalAddr::new(1, 0)), 42);
+    }
+
+    #[test]
+    fn xor_add_cas() {
+        let f = fabric(2);
+        let a = GlobalAddr::new(1, 8);
+        f.put_u64(0, a, 0xF0);
+        assert_eq!(f.xor_u64(0, a, 0x0F), 0xF0);
+        assert_eq!(f.get_u64(0, a), 0xFF);
+        assert_eq!(f.add_u64(0, a, 1), 0xFF);
+        assert_eq!(f.cas_u64(0, a, 0x100, 7), Ok(0x100));
+        assert_eq!(f.get_u64(0, a), 7);
+    }
+
+    #[test]
+    fn strided_roundtrip() {
+        let f = fabric(2);
+        let base = GlobalAddr::new(1, 0);
+        // 3 blocks of 8 bytes with stride 24 on the remote side.
+        let src: Vec<u8> = (0..24).collect();
+        f.put_strided(0, base, 24, &src, 8, 3);
+        let mut buf = vec![0u8; 24];
+        f.get_strided(0, base, 24, &mut buf, 8, 3);
+        assert_eq!(buf, src);
+        // Gap bytes untouched.
+        let mut gap = [0u8; 8];
+        f.get(0, base.add(8), &mut gap);
+        assert_eq!(gap, [0u8; 8]);
+    }
+
+    #[test]
+    fn am_fifo_per_pair() {
+        let f = fabric(2);
+        for i in 0..10u16 {
+            f.send_am(
+                0,
+                1,
+                AmPayload::Handler {
+                    id: i,
+                    args: Bytes::new(),
+                },
+            );
+        }
+        let mut got = vec![];
+        while let Some(m) = f.endpoint(1).try_recv() {
+            assert_eq!(m.src, 0);
+            if let AmPayload::Handler { id, .. } = m.payload {
+                got.push(id);
+            }
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(f.endpoint(0).stats.snapshot().ams_sent, 10);
+        assert_eq!(f.endpoint(1).stats.snapshot().ams_handled, 10);
+    }
+
+    #[test]
+    fn am_task_payload_executes() {
+        let f = fabric(2);
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag2 = flag.clone();
+        f.send_am(
+            0,
+            1,
+            AmPayload::Task(Box::new(move || {
+                flag2.store(true, Ordering::SeqCst);
+            })),
+        );
+        let msg = f.endpoint(1).try_recv().unwrap();
+        match msg.payload {
+            AmPayload::Task(task) => task(),
+            other => panic!("unexpected payload {other:?}"),
+        }
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn simnet_charges_remote_ops_only() {
+        let f = Fabric::new(FabricConfig {
+            ranks: 2,
+            segment_bytes: 4096,
+            simnet: Some(SimNet {
+                latency_ns: 200_000, // 200 µs — far above host noise
+                bytes_per_us: 0,
+            }),
+        });
+        // Remote word put takes at least the injected latency.
+        let t = std::time::Instant::now();
+        f.put_u64(0, GlobalAddr::new(1, 0), 1);
+        assert!(t.elapsed() >= std::time::Duration::from_micros(200));
+        // Local word put is unaffected (well under the injected latency).
+        let t = std::time::Instant::now();
+        f.put_u64(1, GlobalAddr::new(1, 8), 1);
+        assert!(t.elapsed() < std::time::Duration::from_micros(200));
+        // Remote atomics charge a round trip (two traversals).
+        let t = std::time::Instant::now();
+        f.xor_u64(0, GlobalAddr::new(1, 0), 1);
+        assert!(t.elapsed() >= std::time::Duration::from_micros(400));
+    }
+
+    #[test]
+    fn simnet_bandwidth_term() {
+        let f = Fabric::new(FabricConfig {
+            ranks: 2,
+            segment_bytes: 1 << 20,
+            simnet: Some(SimNet {
+                latency_ns: 0,
+                bytes_per_us: 100, // 100 MB/s: 512 KiB ≈ 5.2 ms
+            }),
+        });
+        let data = vec![0u8; 512 << 10];
+        let t = std::time::Instant::now();
+        f.put(0, GlobalAddr::new(1, 0), &data);
+        assert!(t.elapsed() >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn global_addr_arithmetic() {
+        let a = GlobalAddr::new(3, 100);
+        assert_eq!(a.add(28), GlobalAddr::new(3, 128));
+    }
+
+    #[test]
+    fn total_counts_aggregates() {
+        let f = fabric(3);
+        f.put_u64(0, GlobalAddr::new(1, 0), 1);
+        f.put_u64(1, GlobalAddr::new(2, 0), 1);
+        f.get_u64(2, GlobalAddr::new(0, 0));
+        let t = f.total_counts();
+        assert_eq!(t.puts, 2);
+        assert_eq!(t.gets, 1);
+        f.reset_counts();
+        assert_eq!(f.total_counts(), CommCounts::default());
+    }
+}

@@ -1,0 +1,35 @@
+//! `rupcxx-net` — the communication substrate of the `rupcxx` PGAS library.
+//!
+//! This crate plays the role GASNet plays under UPC++ (paper Fig. 2): it
+//! provides a *fabric* of N endpoints (one per SPMD rank) supporting
+//!
+//! * **active messages** (von Eicken et al., ISCA '92): small control
+//!   messages carrying a registered handler id + payload, or an opaque
+//!   boxed task, delivered FIFO per (source, destination) pair and executed
+//!   by the destination's progress engine;
+//! * **one-sided RMA**: `put`/`get` of byte ranges into a remote rank's
+//!   *segment* with **no involvement of the target CPU**, exactly the
+//!   property RDMA hardware provides. Strided (vector) transfers are
+//!   supported for multidimensional-array ghost copies;
+//! * **traffic counters** per endpoint, consumed by `rupcxx-perfmodel` to
+//!   project measured runs onto paper-scale machines.
+//!
+//! The "network" is the host's shared memory: ranks are OS threads of one
+//! process. Each rank's globally addressable memory is a [`Segment`] — an
+//! arena of `AtomicU64` words accessed with `Relaxed` ordering. This makes
+//! concurrent conflicting accesses *defined behaviour* (you observe some
+//! written value), which is a faithful, safe-Rust rendering of the paper's
+//! relaxed memory-consistency model (§III-F).
+
+pub mod fabric;
+pub mod pod;
+pub mod segment;
+pub mod stats;
+
+pub use fabric::{AmMessage, AmPayload, Endpoint, Fabric, FabricConfig, GlobalAddr, SimNet};
+pub use pod::Pod;
+pub use segment::Segment;
+pub use stats::{CommCounts, CommStats};
+
+/// A rank id (SPMD execution-unit index), `0..ranks()`.
+pub type Rank = usize;

@@ -1,0 +1,142 @@
+//! Plain-old-data marker trait for values that may live in the global
+//! address space.
+//!
+//! UPC++ shared objects are C++ objects whose bytes are moved by RDMA.
+//! The Rust equivalent needs a marker for types whose byte representation
+//! is total (no padding, no niches): such values can be written to and read
+//! back from a [`crate::Segment`] byte-for-byte.
+//!
+//! # Safety
+//! Implementors guarantee that the type
+//! * is `Copy + Send + Sync + 'static` (plain data always is),
+//! * contains **no padding bytes** and **no invalid bit patterns** (every
+//!   byte combination of `size_of::<T>()` bytes is a valid value), and
+//! * has alignment ≤ 8 (segments hand out 8-byte-aligned storage).
+//!
+//! These conditions make the internal pointer casts in [`Pod::write_to`] and
+//! [`Pod::read_from`] sound.
+
+/// Marker for plain-old-data types storable in the global address space.
+///
+/// # Safety
+/// See the module documentation for the exact obligations.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {
+    /// Serialize `self` into `out` (little-endian native layout).
+    /// `out.len()` must equal `size_of::<Self>()`.
+    fn write_to(&self, out: &mut [u8]) {
+        let size = std::mem::size_of::<Self>();
+        assert_eq!(out.len(), size, "Pod::write_to: wrong buffer size");
+        // SAFETY: `Self: Pod` guarantees no padding, so all `size` bytes
+        // are initialized; the source lives for the duration of the copy.
+        let src = unsafe { std::slice::from_raw_parts(self as *const Self as *const u8, size) };
+        out.copy_from_slice(src);
+    }
+
+    /// Deserialize a value from `bytes`. `bytes.len()` must equal
+    /// `size_of::<Self>()`.
+    fn read_from(bytes: &[u8]) -> Self {
+        let size = std::mem::size_of::<Self>();
+        assert_eq!(bytes.len(), size, "Pod::read_from: wrong buffer size");
+        let mut value = std::mem::MaybeUninit::<Self>::uninit();
+        // SAFETY: every bit pattern is a valid `Self` (Pod contract), and we
+        // copy exactly `size` bytes into the (properly aligned) local.
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), value.as_mut_ptr() as *mut u8, size);
+            value.assume_init()
+        }
+    }
+
+    /// Convenience: serialize into a fresh `Vec<u8>`.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = vec![0u8; std::mem::size_of::<Self>()];
+        self.write_to(&mut v);
+        v
+    }
+}
+
+macro_rules! impl_pod_prim {
+    ($($t:ty),* $(,)?) => {
+        $(
+            // SAFETY: primitive integer/float types have no padding and no
+            // invalid bit patterns, and alignment ≤ 8 on all supported targets.
+            unsafe impl Pod for $t {}
+        )*
+    };
+}
+
+impl_pod_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// SAFETY: arrays of Pod have no padding between elements (array layout is
+// contiguous) and inherit element validity and alignment.
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+// SAFETY: the unit type has size 0 — trivially valid.
+unsafe impl Pod for () {}
+
+/// Pack a slice of Pod values into a byte vector.
+pub fn pack_slice<T: Pod>(values: &[T]) -> Vec<u8> {
+    let elem = std::mem::size_of::<T>();
+    let mut out = vec![0u8; std::mem::size_of_val(values)];
+    for (i, v) in values.iter().enumerate() {
+        v.write_to(&mut out[i * elem..(i + 1) * elem]);
+    }
+    out
+}
+
+/// Unpack a byte slice into a vector of Pod values. Panics when the byte
+/// length is not a multiple of `size_of::<T>()`.
+pub fn unpack_slice<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    let elem = std::mem::size_of::<T>();
+    assert!(
+        elem == 0 || bytes.len().is_multiple_of(elem),
+        "unpack_slice: {} bytes is not a multiple of element size {}",
+        bytes.len(),
+        elem
+    );
+    if elem == 0 {
+        return Vec::new();
+    }
+    bytes.chunks_exact(elem).map(T::read_from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let x: u64 = 0xDEAD_BEEF_CAFE_F00D;
+        assert_eq!(u64::read_from(&x.to_bytes()), x);
+        let y: f64 = -1234.5678;
+        assert_eq!(f64::read_from(&y.to_bytes()), y);
+        let z: i32 = -42;
+        assert_eq!(i32::read_from(&z.to_bytes()), z);
+    }
+
+    #[test]
+    fn roundtrip_arrays() {
+        let a = [1.5f64, -2.5, 3.25];
+        assert_eq!(<[f64; 3]>::read_from(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn pack_unpack_slice() {
+        let v = vec![1u64, 2, 3, u64::MAX];
+        let bytes = pack_slice(&v);
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(unpack_slice::<u64>(&bytes), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong buffer size")]
+    fn write_to_wrong_size_panics() {
+        let mut buf = [0u8; 3];
+        42u64.write_to(&mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn unpack_misaligned_panics() {
+        unpack_slice::<u64>(&[0u8; 7]);
+    }
+}

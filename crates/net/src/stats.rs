@@ -1,0 +1,156 @@
+//! Per-endpoint communication counters.
+//!
+//! Every fabric operation is counted at the initiating endpoint. The
+//! reproduction harnesses read these counts to (a) sanity-check benchmark
+//! communication volumes and (b) feed the `rupcxx-perfmodel` projections
+//! (message counts × modeled per-message cost at paper-scale machines).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live, thread-safe counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Remote puts initiated.
+    pub puts: AtomicU64,
+    /// Bytes written by remote puts.
+    pub put_bytes: AtomicU64,
+    /// Remote gets initiated.
+    pub gets: AtomicU64,
+    /// Bytes read by remote gets.
+    pub get_bytes: AtomicU64,
+    /// Active messages sent.
+    pub ams_sent: AtomicU64,
+    /// Payload bytes in active messages sent.
+    pub am_bytes: AtomicU64,
+    /// Active messages executed locally (received + handled).
+    pub ams_handled: AtomicU64,
+    /// Operations that resolved to local memory (no communication).
+    pub local_ops: AtomicU64,
+}
+
+impl CommStats {
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> CommCounts {
+        CommCounts {
+            puts: self.puts.load(Ordering::Relaxed),
+            put_bytes: self.put_bytes.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            get_bytes: self.get_bytes.load(Ordering::Relaxed),
+            ams_sent: self.ams_sent.load(Ordering::Relaxed),
+            am_bytes: self.am_bytes.load(Ordering::Relaxed),
+            ams_handled: self.ams_handled.load(Ordering::Relaxed),
+            local_ops: self.local_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.puts.store(0, Ordering::Relaxed);
+        self.put_bytes.store(0, Ordering::Relaxed);
+        self.gets.store(0, Ordering::Relaxed);
+        self.get_bytes.store(0, Ordering::Relaxed);
+        self.ams_sent.store(0, Ordering::Relaxed);
+        self.am_bytes.store(0, Ordering::Relaxed);
+        self.ams_handled.store(0, Ordering::Relaxed);
+        self.local_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`CommStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommCounts {
+    /// Remote puts initiated.
+    pub puts: u64,
+    /// Bytes written by remote puts.
+    pub put_bytes: u64,
+    /// Remote gets initiated.
+    pub gets: u64,
+    /// Bytes read by remote gets.
+    pub get_bytes: u64,
+    /// Active messages sent.
+    pub ams_sent: u64,
+    /// Payload bytes in active messages sent.
+    pub am_bytes: u64,
+    /// Active messages executed locally.
+    pub ams_handled: u64,
+    /// Operations resolved locally.
+    pub local_ops: u64,
+}
+
+impl CommCounts {
+    /// Total remote operations initiated (puts + gets + AMs).
+    pub fn remote_ops(&self) -> u64 {
+        self.puts + self.gets + self.ams_sent
+    }
+
+    /// Total bytes moved by this endpoint's initiated operations.
+    pub fn total_bytes(&self) -> u64 {
+        self.put_bytes + self.get_bytes + self.am_bytes
+    }
+
+    /// Element-wise difference (`self - earlier`), for measuring a phase.
+    pub fn since(&self, earlier: &CommCounts) -> CommCounts {
+        CommCounts {
+            puts: self.puts - earlier.puts,
+            put_bytes: self.put_bytes - earlier.put_bytes,
+            gets: self.gets - earlier.gets,
+            get_bytes: self.get_bytes - earlier.get_bytes,
+            ams_sent: self.ams_sent - earlier.ams_sent,
+            am_bytes: self.am_bytes - earlier.am_bytes,
+            ams_handled: self.ams_handled - earlier.ams_handled,
+            local_ops: self.local_ops - earlier.local_ops,
+        }
+    }
+
+    /// Element-wise sum, for aggregating over ranks.
+    pub fn merged(&self, other: &CommCounts) -> CommCounts {
+        CommCounts {
+            puts: self.puts + other.puts,
+            put_bytes: self.put_bytes + other.put_bytes,
+            gets: self.gets + other.gets,
+            get_bytes: self.get_bytes + other.get_bytes,
+            ams_sent: self.ams_sent + other.ams_sent,
+            am_bytes: self.am_bytes + other.am_bytes,
+            ams_handled: self.ams_handled + other.ams_handled,
+            local_ops: self.local_ops + other.local_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = CommStats::default();
+        s.puts.fetch_add(3, Ordering::Relaxed);
+        s.put_bytes.fetch_add(24, Ordering::Relaxed);
+        let c = s.snapshot();
+        assert_eq!(c.puts, 3);
+        assert_eq!(c.put_bytes, 24);
+        s.reset();
+        assert_eq!(s.snapshot(), CommCounts::default());
+    }
+
+    #[test]
+    fn since_and_merged() {
+        let a = CommCounts {
+            puts: 5,
+            put_bytes: 40,
+            ..Default::default()
+        };
+        let b = CommCounts {
+            puts: 2,
+            put_bytes: 16,
+            ..Default::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.puts, 3);
+        assert_eq!(d.put_bytes, 24);
+        let m = a.merged(&b);
+        assert_eq!(m.puts, 7);
+        assert_eq!(m.total_bytes(), 56);
+        assert_eq!(m.remote_ops(), 7);
+    }
+}

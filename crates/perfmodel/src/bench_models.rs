@@ -1,0 +1,345 @@
+//! Per-benchmark projection models: combine live-measured software costs
+//! with the machine models to produce each figure's paper-scale series.
+//!
+//! Every function takes the *measured* software terms as inputs (already
+//! scaled to the target machine's core speed by the caller, see
+//! [`cpu_scale`]) and returns one point per core count. The shapes these
+//! formulas produce — who wins, how the gap evolves, where scaling bends —
+//! are the reproduction targets recorded in EXPERIMENTS.md.
+
+use crate::machine::Machine;
+
+/// One point of a projected series.
+#[derive(Clone, Copy, Debug)]
+pub struct SeriesPoint {
+    /// Total cores (ranks).
+    pub cores: usize,
+    /// The figure's metric at this scale (unit depends on the benchmark).
+    pub value: f64,
+}
+
+/// Scale a host-measured software time to a target machine:
+/// `t_machine = t_host × host_core_rate / machine_core_rate`.
+pub fn cpu_scale(machine: &Machine, host_flops_per_core: f64) -> f64 {
+    host_flops_per_core / machine.flops_per_core
+}
+
+/// Fig. 4 / Table IV — GUPS. Returns `(latency_series_us, gups_series)`.
+///
+/// Per-update time = software cost of the access path — the machine's
+/// PGAS per-access constant scaled by the host-measured proxy/direct
+/// ratio (`sw_ratio`, 1.0 = the UPC baseline) — plus, for the remote
+/// fraction of updates, a dependent read-modify-write transaction: four
+/// one-way wire latencies and CPU message overheads plus the congested
+/// per-hop queueing that dominates fine-grained random traffic at scale.
+pub fn gups_model(
+    machine: &Machine,
+    cores: &[usize],
+    sw_ratio: f64,
+) -> (Vec<SeriesPoint>, Vec<SeriesPoint>) {
+    use crate::topology::Topology;
+    let o_sw_seconds = machine.pgas_access_sw * sw_ratio;
+    let mut lat = Vec::with_capacity(cores.len());
+    let mut gups = Vec::with_capacity(cores.len());
+    for &c in cores {
+        let f_remote = Machine::remote_fraction(c);
+        let hops = machine.net.mean_hops(machine.nodes(c));
+        // get (round trip) + xor + put (injected, acknowledged at fence):
+        // 4 one-way latencies' worth of wire plus 4 CPU message overheads,
+        // plus transaction-level congestion growing with route length.
+        let t_net =
+            4.0 * (machine.rma.l + machine.rma.o) + hops * machine.congested_hop;
+        let t = o_sw_seconds + f_remote * t_net;
+        lat.push(SeriesPoint {
+            cores: c,
+            value: t * 1e6,
+        });
+        gups.push(SeriesPoint {
+            cores: c,
+            value: c as f64 / t / 1e9,
+        });
+    }
+    (lat, gups)
+}
+
+/// Fig. 5 — Stencil weak scaling (GFLOPS).
+///
+/// Per iteration each rank computes `pts_per_rank` 7-point updates
+/// (8 flops each, paper geometry 256³) at the measured per-point software
+/// time, then exchanges 6 ghost faces one-sided.
+pub fn stencil_model(
+    machine: &Machine,
+    cores: &[usize],
+    sw_seconds_per_point: f64,
+    pts_edge: usize,
+) -> Vec<SeriesPoint> {
+    let pts_per_rank = (pts_edge * pts_edge * pts_edge) as f64;
+    let face_bytes = ((pts_edge + 2) * (pts_edge + 2) * 8) as f64;
+    cores
+        .iter()
+        .map(|&c| {
+            let t_comp = pts_per_rank * sw_seconds_per_point;
+            let l_eff = machine.remote_latency(c);
+            let t_comm = 6.0
+                * (face_bytes * machine.rma.cap_g + l_eff + 2.0 * machine.rma.o);
+            let t = t_comp + t_comm;
+            SeriesPoint {
+                cores: c,
+                value: 8.0 * pts_per_rank * c as f64 / t / 1e9,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 6 — Sample sort weak scaling (TB sorted per minute).
+///
+/// Per rank: sample + local sort (measured per-key software time) and an
+/// all-to-all redistribution of the full key volume over the bisection.
+pub fn sort_model(
+    machine: &Machine,
+    cores: &[usize],
+    keys_per_rank: usize,
+    sw_seconds_per_key: f64,
+) -> Vec<SeriesPoint> {
+    let bytes_per_rank = keys_per_rank as f64 * 8.0;
+    cores
+        .iter()
+        .map(|&c| {
+            let t_local = keys_per_rank as f64 * sw_seconds_per_key;
+            let contention = machine.random_traffic_contention(c, 1.0);
+            // All ranks of a node share one NIC, so a node drains
+            // cores_per_node × bytes_per_rank through one injection port;
+            // at large rank counts per-peer messages shrink and endpoint
+            // incast serializes delivery (the classic all-to-all wall).
+            let nic_share = machine.cores_per_node.min(c) as f64;
+            let incast = 1.0 + (c as f64 / 4096.0).sqrt();
+            let t_data = Machine::remote_fraction(c)
+                * bytes_per_rank
+                * nic_share
+                * machine.rma.cap_g
+                * contention
+                * incast;
+            // One message per peer, send and receive side.
+            let peers = c.saturating_sub(1) as f64;
+            let t_msgs = 2.0 * peers * (machine.rma.o + machine.rma.g);
+            let t = t_local + t_data + t_msgs + machine.remote_latency(c);
+            let total_bytes = bytes_per_rank * c as f64;
+            SeriesPoint {
+                cores: c,
+                value: total_bytes / t / 1e12 * 60.0,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 7 — Distributed ray tracing strong scaling (speedup over 1 rank).
+///
+/// Embarrassingly parallel render of a fixed image (measured single-rank
+/// time), a final binomial sum-reduction of the partial images, and a
+/// small load-imbalance tail from static cyclic tile distribution.
+pub fn raytrace_model(
+    machine: &Machine,
+    cores: &[usize],
+    t1_seconds: f64,
+    image_bytes: usize,
+    imbalance: f64,
+) -> Vec<SeriesPoint> {
+    cores
+        .iter()
+        .map(|&c| {
+            let t_comp = t1_seconds / c as f64 * (1.0 + imbalance);
+            // Bandwidth-optimal sum-reduction (reduce-scatter + gather):
+            // every byte of the image crosses the wire about twice,
+            // independent of rank count, plus log-depth latency.
+            let rounds = (c as f64).log2().ceil().max(0.0);
+            let t_reduce = 2.0 * image_bytes as f64 * machine.rma.cap_g
+                + rounds * (machine.remote_latency(c) + 2.0 * machine.rma.o);
+            SeriesPoint {
+                cores: c,
+                value: t1_seconds / (t_comp + t_reduce),
+            }
+        })
+        .collect()
+}
+
+/// Communication flavour of the LULESH projection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exchange {
+    /// UPC++ one-sided `async_copy` ghost exchange.
+    OneSided,
+    /// MPI-style two-sided non-blocking exchange (matching + extra copy,
+    /// with matching costs growing with scale as arrival skew lengthens
+    /// the unexpected-message queues).
+    TwoSided,
+}
+
+/// Fig. 8 — LULESH weak scaling (FOM, zones/s).
+///
+/// Per step: measured per-zone compute time, a 26-neighbour ghost exchange
+/// (faces + edges + corners of an `edge³`-zone subdomain), and a dt
+/// allreduce. `TwoSided` pays the machine's matching overhead per message,
+/// amplified logarithmically with node count (queue-depth/skew growth).
+pub fn lulesh_model(
+    machine: &Machine,
+    cores: &[usize],
+    edge: usize,
+    sw_seconds_per_zone: f64,
+    exchange: Exchange,
+) -> Vec<SeriesPoint> {
+    let zones = (edge * edge * edge) as f64;
+    let face_b = (edge * edge * 8) as f64;
+    let edge_b = (edge * 8) as f64;
+    let ghost_bytes = 6.0 * face_b + 12.0 * edge_b + 8.0 * 8.0;
+    cores
+        .iter()
+        .map(|&c| {
+            let l_eff = machine.remote_latency(c);
+            let t_comp = zones * sw_seconds_per_zone;
+            let mut t_msg = 26.0 * (machine.rma.o + machine.rma.g) + l_eff;
+            if exchange == Exchange::TwoSided {
+                // Matching cost grows with scale: arrival skew lengthens
+                // the posted/unexpected queues every message must scan,
+                // and skew itself compounds with machine depth.
+                let log_nodes = (machine.nodes(c) as f64).log2().max(0.0);
+                let skew = 1.0 + 0.04 * log_nodes * log_nodes;
+                t_msg += 26.0 * machine.two_sided_extra_o * skew;
+            }
+            let t_data = ghost_bytes * machine.rma.cap_g;
+            // dt reduction: binomial allreduce.
+            let t_reduce = (c as f64).log2().ceil() * (l_eff + 2.0 * machine.rma.o);
+            let t_step = t_comp + t_msg + t_data + t_reduce;
+            SeriesPoint {
+                cores: c,
+                value: zones * c as f64 / t_step,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{edison, vesta};
+
+    const FIG4_CORES: [usize; 14] = [
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+    ];
+
+    #[test]
+    fn gups_latency_rises_and_gap_shrinks() {
+        let m = vesta();
+        // sw_ratio 1.0 = the UPC direct baseline; a host-measured
+        // proxy/direct ratio > 1 is the UPC++ curve.
+        let (lat_upc, gups_upc) = gups_model(&m, &FIG4_CORES, 1.0);
+        let (lat_upcxx, gups_upcxx) = gups_model(&m, &FIG4_CORES, 1.3);
+        // Latency per update rises with scale.
+        assert!(lat_upcxx.last().unwrap().value > lat_upcxx[4].value);
+        // UPC wins everywhere, but the *relative* gap shrinks with scale
+        // (paper: 10% at 128 cores, a very small % at 8192).
+        let ratio_small = lat_upcxx[4].value / lat_upc[4].value; // 16 cores
+        let ratio_large = lat_upcxx.last().unwrap().value / lat_upc.last().unwrap().value;
+        assert!(ratio_small > ratio_large, "{ratio_small} vs {ratio_large}");
+        assert!(ratio_large < 1.1);
+        // Aggregate GUPS grows with cores.
+        assert!(gups_upc.last().unwrap().value > gups_upc[4].value * 100.0);
+        assert!(gups_upcxx.last().unwrap().value < gups_upc.last().unwrap().value);
+    }
+
+    #[test]
+    fn gups_absolute_values_near_table_iv() {
+        // With the documented machine constants the UPC curve should land
+        // in the neighbourhood of the paper's Table IV values.
+        let m = vesta();
+        let (lat, gups) = gups_model(&m, &FIG4_CORES, 1.0);
+        let at = |c: usize| gups[FIG4_CORES.iter().position(|&x| x == c).unwrap()].value;
+        assert!((0.0008..0.004).contains(&at(16)), "16: {}", at(16));
+        assert!((0.3..1.4).contains(&at(8192)), "8192: {}", at(8192));
+        // Latency per update in the paper's 6–14 µs band at scale.
+        let l8k = lat.last().unwrap().value;
+        assert!((6.0..16.0).contains(&l8k), "latency at 8192: {l8k}");
+    }
+
+    #[test]
+    fn stencil_scales_nearly_linearly() {
+        let m = edison();
+        let cores = [24, 48, 96, 192, 384, 768, 1536, 3072, 6144];
+        let s = stencil_model(&m, &cores, 1.0e-9, 256);
+        // Weak scaling: GFLOPS ≈ proportional to cores.
+        let eff = (s.last().unwrap().value / s[0].value) / (6144.0 / 24.0);
+        assert!(eff > 0.9, "weak-scaling efficiency {eff}");
+    }
+
+    #[test]
+    fn stencil_variants_close_when_sw_close() {
+        let m = edison();
+        let cores = [24, 6144];
+        let a = stencil_model(&m, &cores, 1.00e-9, 256);
+        let b = stencil_model(&m, &cores, 1.05e-9, 256);
+        for (x, y) in a.iter().zip(&b) {
+            let ratio = x.value / y.value;
+            assert!((0.9..1.1).contains(&ratio));
+        }
+    }
+
+    #[test]
+    fn sort_throughput_grows_sublinearly() {
+        let m = edison();
+        let cores = [1, 12, 96, 768, 6144, 12288];
+        // Per-key software time from the paper's own 1-core point:
+        // ~1e-3 TB/min on one core → ≈480 ns per 8-byte key end to end.
+        let s = sort_model(&m, &cores, 1 << 20, 480e-9);
+        for w in s.windows(2) {
+            assert!(w[1].value > w[0].value, "throughput keeps growing");
+        }
+        // Communication-bound: efficiency at 12288 cores well below 1.
+        let eff = (s.last().unwrap().value / s[0].value) / 12288.0;
+        assert!(eff < 0.9);
+        // Order of magnitude: paper reports ~3.4 TB/min at 12288 cores.
+        let v = s.last().unwrap().value;
+        assert!(v > 0.5 && v < 50.0, "TB/min {v}");
+    }
+
+    #[test]
+    fn raytrace_near_perfect_strong_scaling() {
+        let m = edison();
+        let cores = [24, 48, 96, 192, 384, 768, 1536, 3072, 6144];
+        // A production-scale frame: ~30 min single-core render.
+        let s = raytrace_model(&m, &cores, 1800.0, 3 * 8 * 1024 * 1024, 0.02);
+        let eff = s.last().unwrap().value / 6144.0 * 24.0; // speedup normalized to 24-core base
+        assert!(eff > 0.8, "strong-scaling efficiency {eff}");
+    }
+
+    #[test]
+    fn lulesh_one_sided_beats_two_sided_and_gap_grows() {
+        let m = edison();
+        let cores = [64, 512, 4096, 32768];
+        let one = lulesh_model(&m, &cores, 30, 40e-9, Exchange::OneSided);
+        let two = lulesh_model(&m, &cores, 30, 40e-9, Exchange::TwoSided);
+        let mut last_gap = 0.0;
+        for (o, t) in one.iter().zip(&two) {
+            let gap = o.value / t.value - 1.0;
+            assert!(gap > 0.0, "one-sided must win at {} cores", o.cores);
+            assert!(gap >= last_gap - 1e-9, "gap grows with scale");
+            last_gap = gap;
+        }
+        // Paper: ~10% at 32K ranks.
+        assert!((0.02..0.35).contains(&last_gap), "gap at 32K: {last_gap}");
+    }
+
+    #[test]
+    fn lulesh_fom_grows_with_cores() {
+        let m = edison();
+        let cores = [64, 216, 512, 1000, 4096, 8000, 13824, 32768];
+        let s = lulesh_model(&m, &cores, 30, 40e-9, Exchange::OneSided);
+        for w in s.windows(2) {
+            assert!(w[1].value > w[0].value);
+        }
+    }
+
+    #[test]
+    fn cpu_scale_ratio() {
+        let m = vesta();
+        let s = cpu_scale(&m, 6.4e9);
+        assert!((s - 2.0).abs() < 1e-9);
+    }
+}

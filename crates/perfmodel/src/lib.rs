@@ -1,0 +1,30 @@
+//! `rupcxx-perfmodel` — analytic machine models used to project measured
+//! software costs onto the paper's machines and scales.
+//!
+//! The paper evaluates on two supercomputers we do not have:
+//! **Edison** (Cray XC30: Aries interconnect, dragonfly topology, 24-core
+//! Ivy Bridge nodes) and **Vesta** (IBM BG/Q: 5-D torus, 16-core A2
+//! nodes), at up to 32 K cores. This crate is the documented substitution
+//! (DESIGN.md): a LogGP-style communication model combined with
+//! topology-aware hop and bisection-contention terms.
+//!
+//! The workflow of every `repro-*` harness is:
+//!
+//! 1. **measure** the per-operation *software* costs of both code paths on
+//!    this host (e.g. `SharedArray` proxy access vs. UPC-mode direct
+//!    access) — these are the quantities the paper's comparison is about;
+//! 2. **model** the *network* term with [`Machine`]'s LogGP + topology
+//!    parameters (literature values for Aries and BG/Q);
+//! 3. **combine** them per benchmark ([`bench_models`]) to produce the
+//!    paper-scale series. Relative shapes (who wins, how gaps evolve with
+//!    scale) come out of measured software deltas and modeled network
+//!    time; absolute numbers are explicitly not the goal.
+
+pub mod bench_models;
+pub mod loggp;
+pub mod machine;
+pub mod topology;
+
+pub use loggp::LogGP;
+pub use machine::{edison, vesta, Machine};
+pub use topology::{Dragonfly, Topology, Torus};

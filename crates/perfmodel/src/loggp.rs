@@ -1,0 +1,102 @@
+//! The LogGP communication model (Alexandrov et al.):
+//! latency `L`, per-message CPU overhead `o`, per-message gap `g`
+//! (inverse message rate), and per-byte gap `G` (inverse bandwidth).
+
+/// LogGP parameters, all in seconds (G in seconds/byte).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogGP {
+    /// Wire latency for a minimum-size message.
+    pub l: f64,
+    /// CPU overhead per message end (send or receive side).
+    pub o: f64,
+    /// Gap between consecutive message injections (1 / message rate).
+    pub g: f64,
+    /// Gap per byte (1 / bandwidth).
+    pub cap_g: f64,
+}
+
+impl LogGP {
+    /// End-to-end time of a single `bytes`-byte message:
+    /// `o + L + (bytes-1)·G + o`.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        2.0 * self.o + self.l + (bytes.saturating_sub(1)) as f64 * self.cap_g
+    }
+
+    /// Time for one rank to inject `n` messages of `bytes` bytes,
+    /// pipelined: the injections are gap-limited, plus one trailing
+    /// latency for the last message to land.
+    pub fn pipelined_time(&self, n: usize, bytes: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let per_msg = (self.o + self.g).max(bytes as f64 * self.cap_g);
+        n as f64 * per_msg + self.l
+    }
+
+    /// Effective bandwidth (bytes/s) for large transfers.
+    pub fn bandwidth(&self) -> f64 {
+        1.0 / self.cap_g
+    }
+
+    /// Half-performance message size `n_half`: the size where half the
+    /// asymptotic bandwidth is achieved (a classic network metric).
+    pub fn n_half(&self) -> f64 {
+        (2.0 * self.o + self.l) / self.cap_g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LogGP {
+        LogGP {
+            l: 1e-6,
+            o: 0.5e-6,
+            g: 0.2e-6,
+            cap_g: 1.0 / 8e9, // 8 GB/s
+        }
+    }
+
+    #[test]
+    fn message_time_small_dominated_by_latency() {
+        let m = sample();
+        let t8 = m.message_time(8);
+        assert!((t8 - (2.0 * 0.5e-6 + 1e-6 + 7.0 / 8e9)).abs() < 1e-15);
+        // Doubling a tiny message barely changes the time.
+        assert!(m.message_time(16) / t8 < 1.01);
+    }
+
+    #[test]
+    fn message_time_large_dominated_by_bandwidth() {
+        let m = sample();
+        let t = m.message_time(8 << 20);
+        let bw_term = (8 << 20) as f64 / 8e9;
+        assert!(t > bw_term && t < bw_term * 1.01);
+    }
+
+    #[test]
+    fn pipelining_amortizes_latency() {
+        let m = sample();
+        let serial = 100.0 * m.message_time(8);
+        let piped = m.pipelined_time(100, 8);
+        assert!(piped < serial / 2.0, "pipelined {piped} vs serial {serial}");
+        assert_eq!(m.pipelined_time(0, 8), 0.0);
+    }
+
+    #[test]
+    fn n_half_is_positive_and_sane() {
+        let m = sample();
+        let n = m.n_half();
+        assert!(n > 0.0);
+        // At n_half bytes, transfer time ≈ 2 × (pure bandwidth time).
+        let t = m.message_time(n as usize);
+        let bw_t = n / 8e9;
+        assert!((t / bw_t - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bandwidth_inverse_of_gap() {
+        assert!((sample().bandwidth() - 8e9).abs() < 1.0);
+    }
+}

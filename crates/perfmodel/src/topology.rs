@@ -1,0 +1,171 @@
+//! Interconnect topology models: mean hop counts and bisection capacity.
+//!
+//! Two topologies, matching the paper's machines:
+//! * [`Dragonfly`] — Cray Aries (Edison): all-to-all connected groups of
+//!   routers; small, nearly scale-free diameter.
+//! * [`Torus`] — IBM BG/Q (Vesta): 5-D torus; average distance and
+//!   bisection grow/shrink polynomially with node count.
+
+/// A network topology: enough structure to model latency growth and
+/// all-to-all contention at scale.
+pub trait Topology {
+    /// Mean router-to-router hop count between two random nodes in an
+    /// `nodes`-node machine.
+    fn mean_hops(&self, nodes: usize) -> f64;
+
+    /// Bisection capacity in links for an `nodes`-node machine (each link
+    /// carrying `link_bandwidth` bytes/s).
+    fn bisection_links(&self, nodes: usize) -> f64;
+
+    /// Contention multiplier for uniform-random (all-to-all) traffic:
+    /// how many times the injection demand exceeds bisection capacity.
+    /// ≥ 1; 1 means contention-free.
+    fn alltoall_contention(&self, nodes: usize, injection_links_per_node: f64) -> f64 {
+        // Half the traffic crosses the bisection under uniform random.
+        let demand = nodes as f64 * injection_links_per_node / 2.0;
+        (demand / self.bisection_links(nodes)).max(1.0)
+    }
+}
+
+/// Dragonfly (Aries-like): groups of `routers_per_group` routers, each
+/// router serving `nodes_per_router` nodes; groups fully connected.
+#[derive(Clone, Copy, Debug)]
+pub struct Dragonfly {
+    /// Routers per group (Aries: 96).
+    pub routers_per_group: usize,
+    /// Nodes per router (Aries: 4).
+    pub nodes_per_router: usize,
+    /// Global (inter-group) links per router.
+    pub global_links_per_router: f64,
+}
+
+impl Dragonfly {
+    /// Cray Aries geometry.
+    pub fn aries() -> Self {
+        Dragonfly {
+            routers_per_group: 96,
+            nodes_per_router: 4,
+            global_links_per_router: 10.0 / 4.0,
+        }
+    }
+
+    fn nodes_per_group(&self) -> usize {
+        self.routers_per_group * self.nodes_per_router
+    }
+}
+
+impl Topology for Dragonfly {
+    fn mean_hops(&self, nodes: usize) -> f64 {
+        let npg = self.nodes_per_group();
+        if nodes <= self.nodes_per_router {
+            1.0
+        } else if nodes <= npg {
+            // Same group: router → router (2-level all-to-all inside a
+            // group costs ≤ 2 hops; average ≈ 1.6).
+            1.6
+        } else {
+            // Minimal inter-group route: local → global → local ≈ 3 hops,
+            // plus a small adaptive-routing detour that grows slowly with
+            // group count (Valiant routes on congested paths).
+            let groups = (nodes as f64 / npg as f64).max(1.0);
+            3.0 + 0.5 * groups.ln().max(0.0)
+        }
+    }
+
+    fn bisection_links(&self, nodes: usize) -> f64 {
+        let npg = self.nodes_per_group() as f64;
+        let groups = (nodes as f64 / npg).max(1.0);
+        if groups <= 1.0 {
+            // Intra-group bisection: half the routers' local links.
+            (self.routers_per_group as f64 / 2.0) * (self.routers_per_group as f64 / 2.0) / 4.0
+        } else {
+            // Global links crossing the bisection: each router contributes
+            // its global links; half of the groups' links cross.
+            let routers = groups * self.routers_per_group as f64;
+            routers * self.global_links_per_router / 2.0
+        }
+    }
+}
+
+/// A D-dimensional torus with (approximately) equal extents.
+#[derive(Clone, Copy, Debug)]
+pub struct Torus {
+    /// Dimensionality (BG/Q: 5).
+    pub dims: usize,
+}
+
+impl Torus {
+    /// IBM BG/Q 5-D torus.
+    pub fn bgq() -> Self {
+        Torus { dims: 5 }
+    }
+
+    /// Per-dimension extent for an `nodes`-node machine.
+    fn extent(&self, nodes: usize) -> f64 {
+        (nodes as f64).powf(1.0 / self.dims as f64).max(1.0)
+    }
+}
+
+impl Topology for Torus {
+    fn mean_hops(&self, nodes: usize) -> f64 {
+        // Average distance along one torus dimension of extent k is k/4;
+        // sum over dimensions.
+        let k = self.extent(nodes);
+        (self.dims as f64 * k / 4.0).max(1.0)
+    }
+
+    fn bisection_links(&self, nodes: usize) -> f64 {
+        // Cutting one dimension: 2 (wraparound) × the cross-section.
+        let k = self.extent(nodes);
+        2.0 * (nodes as f64 / k).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dragonfly_hops_nearly_flat() {
+        let d = Dragonfly::aries();
+        let small = d.mean_hops(384);
+        let large = d.mean_hops(100_000);
+        assert!(small >= 1.0);
+        assert!(large < small * 4.0, "dragonfly diameter must stay small");
+    }
+
+    #[test]
+    fn torus_hops_grow_polynomially() {
+        let t = Torus::bgq();
+        let h1k = t.mean_hops(1024);
+        let h32k = t.mean_hops(32 * 1024);
+        assert!(h32k > h1k, "longer average routes on a bigger torus");
+        // Extent ratio (32x nodes) is 32^(1/5) = 2 → hops double.
+        assert!((h32k / h1k - 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn contention_at_least_one() {
+        let d = Dragonfly::aries();
+        assert!(d.alltoall_contention(64, 1.0) >= 1.0);
+        let t = Torus::bgq();
+        assert!(t.alltoall_contention(2, 0.001) >= 1.0);
+    }
+
+    #[test]
+    fn torus_contention_grows_with_scale() {
+        let t = Torus::bgq();
+        let c1k = t.alltoall_contention(1024, 1.0);
+        let c32k = t.alltoall_contention(32768, 1.0);
+        assert!(
+            c32k > c1k,
+            "bisection shrinks relative to injection: {c1k} vs {c32k}"
+        );
+    }
+
+    #[test]
+    fn bisection_positive_even_tiny() {
+        assert!(Dragonfly::aries().bisection_links(1) > 0.0);
+        assert!(Torus::bgq().bisection_links(1) > 0.0);
+    }
+}

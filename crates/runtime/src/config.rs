@@ -1,0 +1,80 @@
+//! Runtime configuration.
+
+use rupcxx_net::SimNet;
+
+/// Parameters for an SPMD job.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Number of SPMD ranks.
+    pub ranks: usize,
+    /// Globally addressable segment size per rank, in bytes.
+    pub segment_bytes: usize,
+    /// Thread-support mode (paper §IV): `false` = *serialized* mode — the
+    /// rank's own calls drive progress (`advance()` runs inside blocking
+    /// operations); `true` = *concurrent* mode — a dedicated worker thread
+    /// per rank also drives progress, so incoming asyncs execute even
+    /// while the rank computes without touching the runtime.
+    pub progress_thread: bool,
+    /// Optional synthetic wire timing injected into remote fabric
+    /// operations (measured latency-bound behaviour on the host).
+    pub simnet: Option<SimNet>,
+}
+
+impl RuntimeConfig {
+    /// A job with `ranks` ranks and the default 16 MiB segment.
+    pub fn new(ranks: usize) -> Self {
+        RuntimeConfig {
+            ranks,
+            segment_bytes: 16 << 20,
+            progress_thread: false,
+            simnet: None,
+        }
+    }
+
+    /// Inject synthetic wire timing into every remote operation.
+    pub fn with_simnet(mut self, simnet: SimNet) -> Self {
+        self.simnet = Some(simnet);
+        self
+    }
+
+    /// Enable the concurrent thread-support mode (a progress worker
+    /// thread per rank).
+    pub fn with_progress_thread(mut self) -> Self {
+        self.progress_thread = true;
+        self
+    }
+
+    /// Set the per-rank segment size in bytes.
+    pub fn segment_bytes(mut self, bytes: usize) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Set the per-rank segment size in mebibytes.
+    pub fn segment_mib(mut self, mib: usize) -> Self {
+        self.segment_bytes = mib << 20;
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = RuntimeConfig::new(8).segment_mib(2);
+        assert_eq!(c.ranks, 8);
+        assert_eq!(c.segment_bytes, 2 << 20);
+        assert!(!c.progress_thread);
+        let d = RuntimeConfig::new(2).segment_bytes(4096).with_progress_thread();
+        assert_eq!(d.segment_bytes, 4096);
+        assert!(d.progress_thread);
+    }
+}

@@ -1,0 +1,238 @@
+//! The per-rank execution context and progress engine.
+
+use crate::alloc::OutOfSegmentMemory;
+use crate::shared::Shared;
+use bytes::Bytes;
+use rupcxx_net::{AmPayload, Fabric, GlobalAddr, Rank};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The SPMD context handed to each rank's closure: identifies the rank and
+/// gives access to communication, progress, memory and synchronization.
+///
+/// `Ctx` is cheap to clone (a rank id plus an `Arc`).
+#[derive(Clone)]
+pub struct Ctx {
+    rank: Rank,
+    shared: Arc<Shared>,
+}
+
+impl Ctx {
+    /// Build a context for `rank` (used by the launcher and by incoming-task
+    /// trampolines).
+    pub fn new(rank: Rank, shared: Arc<Shared>) -> Self {
+        assert!(rank < shared.ranks(), "rank {rank} out of range");
+        Ctx { rank, shared }
+    }
+
+    /// This rank's id — the paper's `MYTHREAD` / `myrank()`.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total number of ranks — the paper's `THREADS` / `ranks()`.
+    #[inline]
+    pub fn ranks(&self) -> usize {
+        self.shared.ranks()
+    }
+
+    /// The communication fabric.
+    #[inline]
+    pub fn fabric(&self) -> &Fabric {
+        &self.shared.fabric
+    }
+
+    /// The job-wide shared state.
+    #[inline]
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Drive the progress engine: drain this rank's active-message inbox,
+    /// executing each incoming task/handler. Returns the number of messages
+    /// processed. This is the paper's `advance()` (§IV).
+    pub fn advance(&self) -> usize {
+        let mut n = 0;
+        while let Some(msg) = self.shared.fabric.endpoint(self.rank).try_recv() {
+            match msg.payload {
+                AmPayload::Task(task) => task(),
+                AmPayload::Handler { id, args } => {
+                    (self.shared.handlers.get(id).clone())(self, msg.src, args)
+                }
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Spin on `cond`, driving progress while waiting. All blocking
+    /// operations in the runtime funnel through here so that a waiting rank
+    /// keeps serving incoming active messages (required for deadlock
+    /// freedom, as in GASNet polling mode).
+    pub fn wait_until(&self, mut cond: impl FnMut() -> bool) {
+        let mut idle_spins = 0u32;
+        loop {
+            if cond() {
+                return;
+            }
+            if self.advance() > 0 {
+                idle_spins = 0;
+                continue;
+            }
+            idle_spins += 1;
+            if idle_spins > 16 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Send a task to run on rank `dst` the next time it drives progress.
+    /// The low-level building block under `rupcxx::async_on`.
+    pub fn send_task(&self, dst: Rank, task: impl FnOnce() + Send + 'static) {
+        self.shared
+            .fabric
+            .send_am(self.rank, dst, AmPayload::Task(Box::new(task)));
+    }
+
+    /// Send a registered-handler active message with packed `args`.
+    pub fn send_handler(&self, dst: Rank, id: crate::HandlerId, args: Bytes) {
+        debug_assert!((id as usize) < self.shared.handlers.len(), "unknown handler {id}");
+        self.shared
+            .fabric
+            .send_am(self.rank, dst, AmPayload::Handler { id, args });
+    }
+
+    /// Allocate `bytes` bytes of globally addressable memory on `rank`
+    /// (local or remote — remote allocation is the UPC++ feature absent
+    /// from UPC and MPI, §III-C). Returns the global address.
+    pub fn alloc_on(&self, rank: Rank, bytes: usize) -> Result<GlobalAddr, OutOfSegmentMemory> {
+        if rank != self.rank {
+            // Remote allocation is mediated by the owner in the paper (an
+            // AM round trip); account for that message pair.
+            let stats = &self.shared.fabric.endpoint(self.rank).stats;
+            stats.ams_sent.fetch_add(2, Ordering::Relaxed);
+        }
+        let offset = self.shared.allocators[rank].lock().alloc(bytes)?;
+        Ok(GlobalAddr::new(rank, offset))
+    }
+
+    /// Free memory previously obtained from [`Ctx::alloc_on`]. Callable
+    /// from any rank, as in the paper's `deallocate`.
+    pub fn free(&self, addr: GlobalAddr) {
+        if addr.rank != self.rank {
+            let stats = &self.shared.fabric.endpoint(self.rank).stats;
+            stats.ams_sent.fetch_add(2, Ordering::Relaxed);
+        }
+        self.shared.allocators[addr.rank].lock().free(addr.offset);
+    }
+
+    /// Bytes currently allocated in `rank`'s segment.
+    pub fn segment_in_use(&self, rank: Rank) -> usize {
+        self.shared.allocators[rank].lock().in_use()
+    }
+
+    /// Mark this rank's SPMD closure complete (used by the launcher).
+    pub(crate) fn mark_complete(&self) {
+        self.shared.completed.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Serve progress until every rank has completed its SPMD closure.
+    pub(crate) fn drain_until_all_complete(&self) {
+        let n = self.ranks();
+        self.wait_until(|| self.shared.completed.load(Ordering::Acquire) >= n);
+        // One final drain: tasks may have been enqueued concurrently with
+        // the last completion.
+        self.advance();
+    }
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("rank", &self.rank)
+            .field("ranks", &self.ranks())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::HandlerRegistry;
+    use std::sync::atomic::AtomicUsize;
+
+    fn two_rank_shared() -> Arc<Shared> {
+        Shared::new(2, 1 << 16, HandlerRegistry::new())
+    }
+
+    #[test]
+    fn send_task_executes_on_advance() {
+        let sh = two_rank_shared();
+        let c0 = Ctx::new(0, sh.clone());
+        let c1 = Ctx::new(1, sh);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        c0.send_task(1, move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert_eq!(c1.advance(), 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn handler_messages_dispatch() {
+        let mut reg = HandlerRegistry::new();
+        type Seen = parking_lot::Mutex<Vec<(Rank, Vec<u8>)>>;
+        let seen: Arc<Seen> = Arc::default();
+        let s2 = seen.clone();
+        reg.register(move |ctx, src, args| {
+            assert_eq!(ctx.rank(), 1);
+            s2.lock().push((src, args.to_vec()));
+        });
+        let sh = Shared::new(2, 4096, reg);
+        let c0 = Ctx::new(0, sh.clone());
+        let c1 = Ctx::new(1, sh);
+        c0.send_handler(1, 0, Bytes::from_static(&[9, 8]));
+        c1.advance();
+        assert_eq!(*seen.lock(), vec![(0usize, vec![9, 8])]);
+    }
+
+    #[test]
+    fn alloc_local_and_remote() {
+        let sh = two_rank_shared();
+        let c0 = Ctx::new(0, sh);
+        let local = c0.alloc_on(0, 64).unwrap();
+        let remote = c0.alloc_on(1, 64).unwrap();
+        assert_eq!(local.rank, 0);
+        assert_eq!(remote.rank, 1);
+        assert_eq!(c0.segment_in_use(1), 64);
+        c0.free(remote);
+        assert_eq!(c0.segment_in_use(1), 0);
+        c0.free(local);
+    }
+
+    #[test]
+    fn wait_until_serves_progress() {
+        let sh = two_rank_shared();
+        let c0 = Ctx::new(0, sh.clone());
+        let flag = Arc::new(AtomicUsize::new(0));
+        // Rank 1 sends a task to rank 0; rank 0's wait_until must execute it.
+        let c1 = Ctx::new(1, sh);
+        let f2 = flag.clone();
+        c1.send_task(0, move || {
+            f2.store(1, Ordering::SeqCst);
+        });
+        let f3 = flag.clone();
+        c0.wait_until(move || f3.load(Ordering::SeqCst) == 1);
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_rank_panics() {
+        let sh = two_rank_shared();
+        let _ = Ctx::new(5, sh);
+    }
+}

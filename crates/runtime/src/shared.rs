@@ -1,0 +1,211 @@
+//! Process-wide state shared by all rank threads of one SPMD job.
+
+use crate::alloc::SegAllocator;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rupcxx_net::{Fabric, FabricConfig, Rank, SimNet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Id of a registered active-message handler.
+pub type HandlerId = u16;
+
+/// A registered active-message handler. Receives the executing rank's
+/// context, the sending rank, and the packed argument bytes.
+pub type HandlerFn = Arc<dyn Fn(&crate::Ctx, Rank, Bytes) + Send + Sync>;
+
+/// Table of AM handlers, identical on every rank (the paper assumes
+/// "function entry points on all processes are either all identical or have
+/// an offset collected at load time"; a shared table is the same idea).
+#[derive(Clone, Default)]
+pub struct HandlerRegistry {
+    handlers: Vec<HandlerFn>,
+}
+
+impl HandlerRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a handler; returns its id. Must be called before launch
+    /// (the registry is frozen into the job's shared state).
+    pub fn register(
+        &mut self,
+        f: impl Fn(&crate::Ctx, Rank, Bytes) + Send + Sync + 'static,
+    ) -> HandlerId {
+        let id = self.handlers.len();
+        assert!(id <= u16::MAX as usize, "too many AM handlers");
+        self.handlers.push(Arc::new(f));
+        id as HandlerId
+    }
+
+    /// Look up a handler.
+    pub fn get(&self, id: HandlerId) -> &HandlerFn {
+        &self.handlers[id as usize]
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// True when no handlers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for HandlerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandlerRegistry")
+            .field("handlers", &self.handlers.len())
+            .finish()
+    }
+}
+
+/// Per-rank mailbox used by barrier and collectives: contributions keyed
+/// by `(domain, sequence)` — the domain isolates independent key spaces
+/// (0 = the world team; each sub-team gets its own) — deposited by AM
+/// tasks and collected by the owner.
+/// Contributions per `(domain, key)`: the sending rank and its payload.
+type Slots = HashMap<(u64, u64), Vec<(Rank, Vec<u8>)>>;
+
+#[derive(Debug, Default)]
+pub(crate) struct Mailbox {
+    pub(crate) slots: Mutex<Slots>,
+}
+
+impl Mailbox {
+    pub(crate) fn deposit(&self, domain: u64, key: u64, src: Rank, bytes: Vec<u8>) {
+        self.slots
+            .lock()
+            .entry((domain, key))
+            .or_default()
+            .push((src, bytes));
+    }
+
+    pub(crate) fn arrived(&self, domain: u64, key: u64) -> usize {
+        self.slots.lock().get(&(domain, key)).map_or(0, |v| v.len())
+    }
+
+    pub(crate) fn take(&self, domain: u64, key: u64) -> Vec<(Rank, Vec<u8>)> {
+        self.slots.lock().remove(&(domain, key)).unwrap_or_default()
+    }
+}
+
+/// State shared by every rank of the job.
+pub struct Shared {
+    /// The communication fabric.
+    pub fabric: Arc<Fabric>,
+    /// Per-rank segment allocators (locked: remote allocation is allowed,
+    /// standing in for the paper's AM-mediated remote `allocate`).
+    pub(crate) allocators: Vec<Mutex<SegAllocator>>,
+    /// Per-rank collective mailboxes.
+    pub(crate) mailboxes: Vec<Mailbox>,
+    /// Per-rank collective sequence counters (SPMD programs call collectives
+    /// in the same order on every rank, so equal counts match up).
+    pub(crate) coll_seq: Vec<AtomicU64>,
+    /// Frozen AM handler table.
+    pub handlers: HandlerRegistry,
+    /// Per-rank pending reply continuations for registered-handler RPC:
+    /// a reply message carries a token; the continuation stored under it
+    /// consumes the packed return bytes (resolving a future).
+    pub pending_replies: Vec<Mutex<HashMap<u64, Box<dyn FnOnce(Bytes) + Send>>>>,
+    /// Per-rank token counters for [`Shared::pending_replies`].
+    pub reply_tokens: Vec<AtomicU64>,
+    /// Ranks that have finished the user's SPMD closure.
+    pub(crate) completed: AtomicUsize,
+}
+
+impl Shared {
+    /// Build shared state for `ranks` ranks with `segment_bytes` segments.
+    pub fn new(ranks: usize, segment_bytes: usize, handlers: HandlerRegistry) -> Arc<Self> {
+        Self::new_with(ranks, segment_bytes, None, handlers)
+    }
+
+    /// Like [`Shared::new`], with an optional synthetic wire.
+    pub fn new_with(
+        ranks: usize,
+        segment_bytes: usize,
+        simnet: Option<SimNet>,
+        handlers: HandlerRegistry,
+    ) -> Arc<Self> {
+        let fabric = Fabric::new(FabricConfig {
+            ranks,
+            segment_bytes,
+            simnet,
+        });
+        Arc::new(Shared {
+            fabric,
+            allocators: (0..ranks)
+                .map(|_| Mutex::new(SegAllocator::new(segment_bytes)))
+                .collect(),
+            mailboxes: (0..ranks).map(|_| Mailbox::default()).collect(),
+            coll_seq: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            handlers,
+            pending_replies: (0..ranks).map(|_| Mutex::new(HashMap::new())).collect(),
+            reply_tokens: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            completed: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.fabric.ranks()
+    }
+
+    /// Next collective sequence number for `rank`.
+    pub(crate) fn next_coll_seq(&self, rank: Rank) -> u64 {
+        self.coll_seq[rank].fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("ranks", &self.ranks())
+            .field("handlers", &self.handlers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_deposit_and_take() {
+        let mb = Mailbox::default();
+        assert_eq!(mb.arrived(0, 7), 0);
+        mb.deposit(0, 7, 1, vec![1, 2]);
+        mb.deposit(0, 7, 2, vec![3]);
+        // Same key in another domain is independent.
+        mb.deposit(9, 7, 1, vec![4]);
+        assert_eq!(mb.arrived(0, 7), 2);
+        assert_eq!(mb.arrived(9, 7), 1);
+        let got = mb.take(0, 7);
+        assert_eq!(got.len(), 2);
+        assert_eq!(mb.arrived(0, 7), 0);
+        assert_eq!(mb.arrived(9, 7), 1);
+    }
+
+    #[test]
+    fn registry_register_and_get() {
+        let mut reg = HandlerRegistry::new();
+        assert!(reg.is_empty());
+        let id = reg.register(|_, _, _| {});
+        assert_eq!(id, 0);
+        assert_eq!(reg.len(), 1);
+        let _f = reg.get(id);
+    }
+
+    #[test]
+    fn coll_seq_increments_per_rank() {
+        let sh = Shared::new(2, 4096, HandlerRegistry::new());
+        assert_eq!(sh.next_coll_seq(0), 0);
+        assert_eq!(sh.next_coll_seq(0), 1);
+        assert_eq!(sh.next_coll_seq(1), 0);
+    }
+}

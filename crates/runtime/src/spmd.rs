@@ -1,0 +1,234 @@
+//! The SPMD launcher.
+//!
+//! [`spmd`] runs one closure on every rank (each rank is an OS thread) and
+//! returns the per-rank results in rank order. After a rank's closure
+//! returns, the rank keeps serving incoming active messages until *all*
+//! ranks have returned — without this drain phase, a fast rank could exit
+//! while a slow rank still needs its barrier partner's progress engine.
+
+use crate::config::RuntimeConfig;
+use crate::ctx::Ctx;
+use crate::shared::{HandlerRegistry, Shared};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Launch an SPMD job: run `body` on `config.ranks` ranks, returning each
+/// rank's result in rank order.
+///
+/// ```
+/// use rupcxx_runtime::{spmd, RuntimeConfig};
+/// let squares = spmd(RuntimeConfig::new(4).segment_bytes(4096), |ctx| {
+///     ctx.rank() * ctx.rank()
+/// });
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+pub fn spmd<R, F>(config: RuntimeConfig, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Ctx) -> R + Send + Sync,
+{
+    spmd_with_handlers(config, HandlerRegistry::new(), body)
+}
+
+/// Like [`spmd`], with a pre-registered active-message handler table
+/// (shared identically by all ranks, as the paper assumes for function
+/// entry points).
+pub fn spmd_with_handlers<R, F>(config: RuntimeConfig, handlers: HandlerRegistry, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Ctx) -> R + Send + Sync,
+{
+    assert!(config.ranks > 0, "spmd needs at least one rank");
+    let shared = Shared::new_with(config.ranks, config.segment_bytes, config.simnet, handlers);
+    let body = &body;
+    let progress_stop = std::sync::atomic::AtomicBool::new(false);
+    let progress_stop = &progress_stop;
+    std::thread::scope(|scope| {
+        // Concurrent mode (paper §IV): one progress worker per rank keeps
+        // serving incoming active messages even while the rank computes.
+        if config.progress_thread {
+            for rank in 0..config.ranks {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rupcxx-progress-{rank}"))
+                    .spawn_scoped(scope, move || {
+                        let ctx = Ctx::new(rank, shared);
+                        while !progress_stop.load(std::sync::atomic::Ordering::Acquire) {
+                            if ctx.advance() == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn progress thread");
+            }
+        }
+        let mut handles = Vec::with_capacity(config.ranks);
+        for rank in 0..config.ranks {
+            let shared = shared.clone();
+            let builder = std::thread::Builder::new()
+                .name(format!("rupcxx-rank-{rank}"))
+                .stack_size(8 << 20);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    let ctx = Ctx::new(rank, shared);
+                    let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+                    // Completion must be published even on panic, or the
+                    // surviving ranks would drain forever.
+                    ctx.mark_complete();
+                    ctx.drain_until_all_complete();
+                    match result {
+                        Ok(v) => v,
+                        Err(payload) => resume_unwind(payload),
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+        let results: Vec<R> = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => {
+                    progress_stop.store(true, std::sync::atomic::Ordering::Release);
+                    resume_unwind(payload)
+                }
+            })
+            .collect();
+        progress_stop.store(true, std::sync::atomic::Ordering::Release);
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn cfg(n: usize) -> RuntimeConfig {
+        RuntimeConfig::new(n).segment_bytes(8192)
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = spmd(cfg(8), |ctx| ctx.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn single_rank_job() {
+        let out = spmd(cfg(1), |ctx| {
+            assert_eq!(ctx.ranks(), 1);
+            ctx.barrier();
+            "done"
+        });
+        assert_eq!(out, vec!["done"]);
+    }
+
+    #[test]
+    fn cross_rank_rma_visible_after_barrier() {
+        use rupcxx_net::GlobalAddr;
+        let out = spmd(cfg(4), |ctx| {
+            // Every rank writes its id into rank 0's segment, offset 8*rank.
+            ctx.fabric().put_u64(
+                ctx.rank(),
+                GlobalAddr::new(0, 8 * ctx.rank()),
+                ctx.rank() as u64 + 100,
+            );
+            ctx.barrier();
+            // Every rank reads all four slots back.
+            (0..4)
+                .map(|r| ctx.fabric().get_u64(ctx.rank(), GlobalAddr::new(0, 8 * r)))
+                .collect::<Vec<_>>()
+        });
+        for v in out {
+            assert_eq!(v, vec![100, 101, 102, 103]);
+        }
+    }
+
+    #[test]
+    fn post_closure_drain_serves_stragglers() {
+        // Rank 0 returns immediately; rank 1 then asks rank 0 to run a task
+        // (via finish), which only works if rank 0 keeps draining.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        spmd(cfg(2), move |ctx| {
+            if ctx.rank() == 1 {
+                // Give rank 0 a head start to return from its closure.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let h = h.clone();
+                ctx.finish(|fs| {
+                    fs.spawn(0, move |_| {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate rank failure")]
+    fn rank_panic_propagates_without_hanging() {
+        spmd(cfg(3), |ctx| {
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                panic!("deliberate rank failure");
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_mode_progresses_without_target_cooperation() {
+        // Rank 1 spins on a plain flag without ever driving progress; the
+        // flag is set by an incoming task. Deadlock in serialized mode —
+        // the progress worker of concurrent mode makes it complete.
+        let out = spmd(cfg(2).with_progress_thread(), |ctx| {
+            let flag = Arc::new(AtomicUsize::new(0));
+            if ctx.rank() == 0 {
+                ctx.barrier();
+                0
+            } else {
+                let f = flag.clone();
+                // Ask rank 0 to send us a task that sets our local flag.
+                let my_flag = flag.clone();
+                ctx.send_task(0, {
+                    let shared = ctx.shared().clone();
+                    move || {
+                        let c0 = Ctx::new(0, shared.clone());
+                        c0.send_task(1, move || {
+                            my_flag.store(7, Ordering::SeqCst);
+                        });
+                    }
+                });
+                // Busy-wait WITHOUT advance(): only the progress thread
+                // can execute the incoming task.
+                while f.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+                ctx.barrier();
+                f.load(Ordering::SeqCst)
+            }
+        });
+        assert_eq!(out[1], 7);
+    }
+
+    #[test]
+    fn concurrent_mode_runs_regular_workloads() {
+        let out = spmd(cfg(4).with_progress_thread(), |ctx| {
+            ctx.barrier();
+            ctx.allreduce(ctx.rank() as u64, |a, b| a + b)
+        });
+        assert!(out.iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn oversubscription_many_ranks() {
+        // Far more ranks than cores: progress engines must still make
+        // the barrier complete.
+        let out = spmd(cfg(32), |ctx| {
+            ctx.barrier();
+            ctx.allreduce(1u64, |a, b| a + b)
+        });
+        assert!(out.iter().all(|&v| v == 32));
+    }
+}

@@ -1,0 +1,20 @@
+//! Utilities shared across the `rupcxx` workspace.
+//!
+//! This crate deliberately has no dependencies on the rest of the workspace:
+//! it provides the deterministic random-number generators used by the paper's
+//! benchmarks (64-bit Mersenne Twister for sample sort, the HPCC polynomial
+//! LCG for GUPS), simple statistics helpers, plain-text table rendering for
+//! the reproduction harnesses, and a small intra-rank thread pool standing in
+//! for the paper's "OpenMP within a rank" usage.
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod threadpool;
+pub mod timer;
+
+pub use rng::{GupsRng, Mt19937_64, SplitMix64};
+pub use stats::Summary;
+pub use table::Table;
+pub use threadpool::ThreadPool;
+pub use timer::Timer;

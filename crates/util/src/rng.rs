@@ -1,0 +1,290 @@
+//! Deterministic random-number generators used by the paper's benchmarks.
+//!
+//! Three generators are provided:
+//!
+//! * [`Mt19937_64`] — the 64-bit Mersenne Twister. The paper's sample sort
+//!   generates its keys with this generator (§V-C), so we implement the
+//!   reference algorithm (Nishimura/Matsumoto 2004) from scratch.
+//! * [`GupsRng`] — the HPCC Random Access polynomial LCG
+//!   (`ran = (ran << 1) ^ (ran < 0 ? POLY : 0)`), used by GUPS (§V-A).
+//! * [`SplitMix64`] — a tiny, fast generator used for seeding and for
+//!   workloads where statistical quality does not matter.
+
+/// The HPCC Random Access polynomial.
+pub const POLY: u64 = 0x0000_0000_0000_0007;
+
+/// Period of the HPCC random-access sequence (2^64 - 1 in the reference code,
+/// represented here by the full u64 cycle of the LFSR).
+const GUPS_PERIOD: i64 = 1_317_624_576_693_539_401;
+
+/// The HPCC Random Access generator: a 64-bit Galois LFSR over the
+/// polynomial `x^63 + x^2 + x + 1`.
+///
+/// This is exactly the update used in the paper's GUPS kernel:
+/// ```c
+/// ran = (ran << 1) ^ ((int64_t)ran < 0 ? POLY : 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GupsRng {
+    state: u64,
+}
+
+impl GupsRng {
+    /// Create a generator positioned at the `n`-th number of the HPCC random
+    /// sequence, using the standard O(log n) jump-ahead based on repeated
+    /// squaring of the companion matrix (here: shift table of the LFSR).
+    pub fn starting_at(n: i64) -> Self {
+        let mut n = n % GUPS_PERIOD;
+        if n < 0 {
+            n += GUPS_PERIOD;
+        }
+        if n == 0 {
+            return Self { state: 1 };
+        }
+        // m2 caches the LFSR advanced by powers of two.
+        let mut m2 = [0u64; 64];
+        let mut temp: u64 = 1;
+        for slot in m2.iter_mut() {
+            *slot = temp;
+            temp = Self::step(Self::step(temp));
+        }
+        let mut i = 62;
+        while i >= 0 && ((n >> i) & 1) == 0 {
+            i -= 1;
+        }
+        let mut ran: u64 = 2;
+        while i > 0 {
+            temp = 0;
+            for (j, &m) in m2.iter().enumerate() {
+                if (ran >> j) & 1 == 1 {
+                    temp ^= m;
+                }
+            }
+            ran = temp;
+            i -= 1;
+            if (n >> i) & 1 == 1 {
+                ran = Self::step(ran);
+            }
+        }
+        Self { state: ran }
+    }
+
+    /// Create a generator starting at the beginning of the sequence.
+    pub fn new() -> Self {
+        Self { state: 1 }
+    }
+
+    #[inline]
+    fn step(x: u64) -> u64 {
+        (x << 1) ^ (if (x as i64) < 0 { POLY } else { 0 })
+    }
+
+    /// Advance and return the next value in the sequence.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = Self::step(self.state);
+        self.state
+    }
+}
+
+impl Default for GupsRng {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const NN: usize = 312;
+const MM: usize = 156;
+const MATRIX_A: u64 = 0xB502_6F5A_A966_19E9;
+const UM: u64 = 0xFFFF_FFFF_8000_0000; // most significant 33 bits
+const LM: u64 = 0x7FFF_FFFF; // least significant 31 bits
+
+/// The 64-bit Mersenne Twister (MT19937-64), implemented from the reference
+/// code of Nishimura and Matsumoto.
+///
+/// The paper's sample sort benchmark generates its 64-bit keys with this
+/// generator, so reproducing it exactly lets our workload match the paper's.
+#[derive(Clone)]
+pub struct Mt19937_64 {
+    mt: [u64; NN],
+    mti: usize,
+}
+
+impl Mt19937_64 {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut mt = [0u64; NN];
+        mt[0] = seed;
+        for i in 1..NN {
+            mt[i] = 6_364_136_223_846_793_005u64
+                .wrapping_mul(mt[i - 1] ^ (mt[i - 1] >> 62))
+                .wrapping_add(i as u64);
+        }
+        Self { mt, mti: NN }
+    }
+
+    /// Generate the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        if self.mti >= NN {
+            for i in 0..NN - MM {
+                let x = (self.mt[i] & UM) | (self.mt[i + 1] & LM);
+                self.mt[i] = self.mt[i + MM] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };
+            }
+            for i in NN - MM..NN - 1 {
+                let x = (self.mt[i] & UM) | (self.mt[i + 1] & LM);
+                self.mt[i] =
+                    self.mt[i + MM - NN] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };
+            }
+            let x = (self.mt[NN - 1] & UM) | (self.mt[0] & LM);
+            self.mt[NN - 1] = self.mt[MM - 1] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };
+            self.mti = 0;
+        }
+        let mut x = self.mt[self.mti];
+        self.mti += 1;
+        x ^= (x >> 29) & 0x5555_5555_5555_5555;
+        x ^= (x << 17) & 0x71D6_7FFF_EDA6_0000;
+        x ^= (x << 37) & 0xFFF7_EEE0_0000_0000;
+        x ^= x >> 43;
+        x
+    }
+
+    /// Generate a value in `[0, bound)` by rejection-free modulo (bias is
+    /// negligible for the bounds the benchmarks use, and matches the paper's
+    /// `genrand_uint64() % key_count` usage).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+impl std::fmt::Debug for Mt19937_64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt19937_64").field("mti", &self.mti).finish()
+    }
+}
+
+/// SplitMix64: a tiny, fast, well-distributed generator. Used for seeding
+/// and for auxiliary randomness (e.g. ray-tracing jitter).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        // Lemire's multiply-shift bounded generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mt64_matches_reference_vector() {
+        // Reference values from the mt19937-64 reference implementation
+        // seeded via init_genrand64 is array-based in the original; the
+        // scalar seeding used here matches the widely used variant
+        // (init_genrand64(seed)). Check internal consistency instead:
+        // stability of the first outputs across runs.
+        let mut a = Mt19937_64::new(5489);
+        let mut b = Mt19937_64::new(5489);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Mt19937_64::new(1234);
+        let first: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        // Distinct seeds must give a different stream.
+        let mut d = Mt19937_64::new(1235);
+        let other: Vec<u64> = (0..4).map(|_| d.next_u64()).collect();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn mt64_known_answer_seed5489() {
+        // Known-answer test: first three outputs of MT19937-64 with the
+        // scalar seed 5489 (verified against the reference C code).
+        let mut g = Mt19937_64::new(5489);
+        let v: Vec<u64> = (0..3).map(|_| g.next_u64()).collect();
+        assert_eq!(v[0], 14514284786278117030);
+        assert_eq!(v[1], 4620546740167642908);
+        assert_eq!(v[2], 13109570281517897720);
+    }
+
+    #[test]
+    fn gups_starting_at_zero_is_sequence_start() {
+        let mut a = GupsRng::starting_at(0);
+        let mut b = GupsRng::new();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gups_jump_ahead_matches_stepping() {
+        for n in [1i64, 2, 3, 17, 100, 1023] {
+            let mut stepped = GupsRng::new();
+            for _ in 0..n {
+                stepped.next_u64();
+            }
+            let mut jumped = GupsRng::starting_at(n);
+            for _ in 0..50 {
+                assert_eq!(jumped.next_u64(), stepped.next_u64(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gups_sequence_is_nonzero_and_varied() {
+        let mut g = GupsRng::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let v = g.next_u64();
+            assert_ne!(v, 0);
+            seen.insert(v);
+        }
+        assert!(seen.len() > 9_990);
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut g = SplitMix64::new(42);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn splitmix_bounded_below_bound() {
+        let mut g = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..1000 {
+                assert!(g.next_below(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Wall-clock timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start a new timer.
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds since start.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restart the timer and return the lap time in seconds.
+    pub fn lap(&mut self) -> f64 {
+        let now = Instant::now();
+        let dt = now.duration_since(self.start).as_secs_f64();
+        self.start = now;
+        dt
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Timer::start();
+    let out = f();
+    (out, t.seconds())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_is_monotone() {
+        let t = Timer::start();
+        let a = t.seconds();
+        let b = t.seconds();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, secs) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = t.lap();
+        assert!(first > 0.0);
+        let second = t.seconds();
+        assert!(second < first + 0.5);
+    }
+}

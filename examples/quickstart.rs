@@ -1,0 +1,62 @@
+//! Quickstart: the core PGAS constructs in one small program.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Mirrors the paper's Table I feature tour: SPMD ranks, a shared scalar,
+//! a block-cyclic shared array, one-sided reads/writes, barrier, and an
+//! asynchronous remote function invocation with a future.
+
+use rupcxx::prelude::*;
+
+fn main() {
+    let ranks = 4;
+    let totals = spmd(RuntimeConfig::new(ranks).segment_mib(4), |ctx| {
+        // THREADS / MYTHREAD.
+        println!("hello from rank {} of {}", ctx.rank(), ctx.ranks());
+
+        // A shared scalar on rank 0 (UPC: `shared int s`).
+        let s = SharedVar::<u64>::new(ctx, 0);
+        if ctx.rank() == 0 {
+            s.write(ctx, 42);
+        }
+        ctx.barrier();
+        assert_eq!(s.read(ctx), 42);
+
+        // A cyclic shared array (UPC: `shared uint64_t a[32]`).
+        let a = SharedArray::<u64>::new(ctx, 32, 1);
+        for i in a.my_indices(ctx).collect::<Vec<_>>() {
+            a.write(ctx, i, (i * i) as u64); // write my elements
+        }
+        ctx.barrier();
+        // Every rank reads the whole array one-sided.
+        let total: u64 = (0..32).map(|i| a.read(ctx, i)).sum();
+
+        // Async remote function invocation with a future (paper §III-G):
+        // `future<T> f = async(place)(function, args...)`.
+        let place = (ctx.rank() + 1) % ctx.ranks();
+        let f = async_on(ctx, place, move |tctx| {
+            format!("task from somewhere ran on rank {}", tctx.rank())
+        });
+        let message = f.get(ctx);
+        if ctx.rank() == 0 {
+            println!("{message}");
+        }
+
+        // finish: wait for all asyncs spawned in the scope (paper §III-G).
+        ctx.finish(|fs| {
+            for r in 0..ctx.ranks() {
+                fs.spawn(r, move |tctx| {
+                    assert_eq!(tctx.rank(), r);
+                });
+            }
+        });
+
+        ctx.barrier();
+        s.destroy(ctx);
+        a.destroy(ctx);
+        total
+    });
+    // Σ i² for i in 0..32.
+    assert!(totals.iter().all(|&t| t == (0..32u64).map(|i| i * i).sum()));
+    println!("all {ranks} ranks agreed: Σ i² = {}", totals[0]);
+}

@@ -1,0 +1,73 @@
+//! Teams and distributed multidimensional arrays — the library's
+//! extensions beyond the paper's prototype (both named by the paper as
+//! directions: group places for `async`, §III-G, and "true distributed
+//! multidimensional arrays", §III-E).
+//!
+//! Run with: `cargo run --example teams_and_dist`
+//!
+//! Six ranks form a 3×2 process grid over a global 2-D field. Row teams
+//! compute per-row statistics with team collectives; a `DistArray` holds
+//! the field itself with one-sided global access and halo exchange.
+
+use rupcxx::prelude::*;
+use rupcxx_ndarray::{rd, DistArray};
+
+fn main() {
+    let rows = 2usize;
+    let cols = 3usize;
+    let out = spmd(
+        RuntimeConfig::new(rows * cols).segment_mib(4),
+        move |ctx| {
+            // A 12×12 global field, block-partitioned 3×2, one ghost layer.
+            let field = DistArray::<f64, 2>::new(ctx, rd!([0, 0] .. [12, 12]), [cols, rows], 1);
+            field.local().fill(ctx, 0.0);
+            field.fill_interior_with(ctx, |p| (p[0] + p[1]) as f64);
+            ctx.barrier();
+            field.exchange_ghosts(ctx);
+            ctx.barrier();
+
+            // Row teams: ranks with the same grid row.
+            let world = ctx.team_world();
+            let my_row = (ctx.rank() / cols) as u64;
+            let row_team = world.split(ctx, my_row, ctx.rank() as u64);
+            assert_eq!(row_team.size(), cols);
+
+            // Each rank sums its interior; the row team reduces.
+            let mut local_sum = 0.0;
+            field.interior().for_each(|p| local_sum += field.local().get(ctx, p));
+            let row_sum = row_team.allreduce(ctx, local_sum, |a, b| a + b);
+
+            // Row leaders report to rank 0 through a world gather.
+            let report = if row_team.my_index() == 0 {
+                row_sum
+            } else {
+                -1.0
+            };
+            let all = ctx.gather(0, report);
+            ctx.barrier();
+            let global_via_rows = world.allreduce(ctx, local_sum, |a, b| a + b);
+            field.destroy(ctx);
+            (row_sum, all, global_via_rows)
+        },
+    );
+
+    let (.., global) = out[0];
+    println!("global field sum: {global}");
+    for (rank, (row_sum, reports, _)) in out.iter().enumerate() {
+        if rank == 0 {
+            let leaders: Vec<f64> = reports
+                .as_ref()
+                .unwrap()
+                .iter()
+                .copied()
+                .filter(|&v| v >= 0.0)
+                .collect();
+            println!("row sums via team leaders: {leaders:?}");
+            assert_eq!(leaders.iter().sum::<f64>(), global);
+        }
+        assert!(*row_sum >= 0.0);
+    }
+    // Σ (i+j) over 12×12 = 12*Σi + 12*Σj = 2*12*66 = 1584.
+    assert_eq!(global, 1584.0);
+    println!("teams + distributed array example passed");
+}

@@ -1,0 +1,2 @@
+//! Root crate: re-exports for integration tests and examples.
+pub use rupcxx;

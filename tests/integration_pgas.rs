@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: the public PGAS API exercised the way
+//! the paper's applications use it.
+
+use rupcxx::prelude::*;
+use rupcxx_ndarray::{pt, NdArray, Point, RectDomain};
+
+fn cfg(n: usize) -> RuntimeConfig {
+    RuntimeConfig::new(n).segment_mib(8)
+}
+
+#[test]
+fn shared_array_of_ndarray_descriptors_directory_pattern() {
+    // The paper's §III-E composition: shared_array<ndarray<T,3>> dir(THREADS);
+    // dir[MYTHREAD] = ARRAY(...)
+    spmd(cfg(4), |ctx| {
+        let dir = SharedArray::<NdArray<f64, 3>>::new(ctx, ctx.ranks(), 1);
+        let me = ctx.rank() as i64;
+        let dom = RectDomain::new(pt![me * 4, 0, 0], pt![me * 4 + 4, 4, 4]);
+        let mine = NdArray::<f64, 3>::new(ctx, dom);
+        mine.fill_with(ctx, |p| (p[0] * 100 + p[1] * 10 + p[2]) as f64);
+        dir.write(ctx, ctx.rank(), mine);
+        ctx.barrier();
+        // Read a neighbour's grid through the directory, one-sided.
+        let next = (ctx.rank() + 1) % ctx.ranks();
+        let theirs = dir.read(ctx, next);
+        assert_eq!(theirs.owner(), next);
+        let base = next as i64 * 4;
+        assert_eq!(theirs.get(ctx, pt![base + 2, 1, 3]), ((base + 2) * 100 + 13) as f64);
+        ctx.barrier();
+        mine.destroy(ctx);
+        dir.destroy(ctx);
+    });
+}
+
+#[test]
+fn async_copy_between_shared_arrays_and_ndarrays() {
+    spmd(cfg(2), |ctx| {
+        // Move a whole SharedArray block into a remote NdArray row.
+        let sa = SharedArray::<f64>::new(ctx, 16, 8);
+        for i in sa.my_indices(ctx).collect::<Vec<_>>() {
+            sa.write(ctx, i, i as f64);
+        }
+        ctx.barrier();
+        if ctx.rank() == 0 {
+            let dst = allocate::<f64>(ctx, 1, 8).expect("landing");
+            let ev = Event::new();
+            async_copy(ctx, sa.base_of(1), dst, 8, Some(&ev));
+            ev.wait(ctx);
+            async_copy_fence(ctx);
+            let mut out = vec![0.0; 8];
+            dst.rget_slice(ctx, &mut out);
+            // Rank 1 owns block [8, 16).
+            assert_eq!(out, (8..16).map(|i| i as f64).collect::<Vec<_>>());
+            deallocate(ctx, dst);
+        }
+        ctx.barrier();
+        sa.destroy(ctx);
+    });
+}
+
+#[test]
+fn finish_with_nested_asyncs_and_futures() {
+    let sums = spmd(cfg(4), |ctx| {
+        if ctx.rank() != 0 {
+            return 0u64;
+        }
+        ctx.finish(|fs| {
+            let futures: Vec<RtFuture<u64>> = (0..ctx.ranks())
+                .map(|r| fs.spawn_with_result(r, move |tctx| (tctx.rank() as u64 + 1) * 10))
+                .collect();
+            futures.into_iter().map(|f| f.get(ctx)).sum()
+        })
+    });
+    assert_eq!(sums[0], 10 + 20 + 30 + 40);
+}
+
+#[test]
+fn global_lock_protects_shared_counter() {
+    spmd(cfg(4), |ctx| {
+        let counter = SharedVar::<u64>::new(ctx, 0);
+        let lock = if ctx.rank() == 0 {
+            let l = GlobalLock::new(ctx, 0);
+            ctx.broadcast(0, [l.addr().rank as u64, l.addr().offset as u64])
+        } else {
+            ctx.broadcast(0, [0u64, 0u64])
+        };
+        let lock = GlobalLock::from_addr(GlobalAddr::new(lock[0] as usize, lock[1] as usize));
+        for _ in 0..50 {
+            lock.with(ctx, || {
+                let v = counter.read(ctx);
+                counter.write(ctx, v + 1);
+            });
+        }
+        ctx.barrier();
+        assert_eq!(counter.read(ctx), 200);
+        counter.destroy(ctx);
+    });
+}
+
+#[test]
+fn ghost_exchange_all_six_faces_2x2x2() {
+    spmd(cfg(8), |ctx| {
+        let me = ctx.rank() as i64;
+        let (cx, cy, cz) = (me % 2, (me / 2) % 2, me / 4);
+        let e = 4i64;
+        let lo = pt![cx * e, cy * e, cz * e];
+        let interior = RectDomain::new(lo, lo + Point::splat(e));
+        let halo = RectDomain::new(lo - Point::ones(), lo + Point::splat(e + 1));
+        let grid = NdArray::<f64, 3>::new(ctx, halo);
+        grid.fill(ctx, -1.0);
+        grid.restrict(interior)
+            .fill_with(ctx, |p| (p[0] * 100 + p[1] * 10 + p[2]) as f64);
+        let dirs: Vec<NdArray<f64, 3>> = ctx.allgatherv(&[grid]);
+        ctx.barrier();
+        let coords = [cx, cy, cz];
+        for dim in 0..3usize {
+            for side in [-1i8, 1i8] {
+                let mut nc = [cx, cy, cz];
+                nc[dim] += side as i64;
+                if !(0..2).contains(&nc[dim]) {
+                    continue;
+                }
+                let nb = (nc[0] + nc[1] * 2 + nc[2] * 4) as usize;
+                grid.copy_ghost_from(ctx, &dirs[nb], interior, dim, side, 1);
+            }
+        }
+        ctx.barrier();
+        // Check one ghost value per present face.
+        for dim in 0..3usize {
+            for side in [-1i8, 1i8] {
+                let mut nc = coords;
+                nc[dim] += side as i64;
+                if !(0..2).contains(&nc[dim]) {
+                    continue;
+                }
+                // A point in the middle of that ghost face.
+                let mut p = lo + Point::splat(e / 2);
+                p[dim] = if side < 0 { lo[dim] - 1 } else { lo[dim] + e };
+                let expect = (p[0] * 100 + p[1] * 10 + p[2]) as f64;
+                assert_eq!(grid.get(ctx, p), expect, "dim {dim} side {side}");
+            }
+        }
+        ctx.barrier();
+        grid.destroy(ctx);
+    });
+}
+
+#[test]
+fn two_sided_and_one_sided_interoperate() {
+    // The same job can mix MPI-style messaging with PGAS one-sided ops —
+    // the paper's interoperability story.
+    let world = rupcxx_mpi::MpiWorld::new(2);
+    spmd(cfg(2), move |ctx| {
+        let comm = world.comm(ctx);
+        let v = SharedVar::<u64>::new(ctx, 5);
+        if ctx.rank() == 0 {
+            comm.send(1, 1, &[9]);
+            ctx.barrier();
+            assert_eq!(v.read(ctx), 9 * 5);
+        } else {
+            let (_, data) = comm.recv(0, 1);
+            let factor = data[0] as u64;
+            let old = v.read(ctx);
+            v.write(ctx, old * factor);
+            ctx.barrier();
+        }
+        ctx.barrier();
+        v.destroy(ctx);
+    });
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the domain calculus and data-layout math
+//! (proptest): the invariants the multidimensional array library and the
+//! block-cyclic layout rely on.
+
+use proptest::prelude::*;
+use rupcxx_ndarray::{Point, RectDomain};
+
+fn small_domain() -> impl Strategy<Value = RectDomain<2>> {
+    (
+        -20i64..20,
+        -20i64..20,
+        0i64..15,
+        0i64..15,
+        1i64..4,
+        1i64..4,
+    )
+        .prop_map(|(lx, ly, ex, ey, sx, sy)| {
+            RectDomain::strided(
+                Point::new([lx, ly]),
+                Point::new([lx + ex, ly + ey]),
+                Point::new([sx, sy]),
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn domain_size_equals_point_count(d in small_domain()) {
+        let mut n = 0usize;
+        d.for_each(|_| n += 1);
+        prop_assert_eq!(n, d.size());
+    }
+
+    #[test]
+    fn every_iterated_point_is_contained(d in small_domain()) {
+        d.for_each(|p| assert!(d.contains(p), "{p} not in {d}"));
+    }
+
+    #[test]
+    fn points_matches_for_each(d in small_domain()) {
+        let mut via_fe = Vec::new();
+        d.for_each(|p| via_fe.push(p));
+        let via_pts: Vec<_> = d.points().collect();
+        prop_assert_eq!(via_fe, via_pts);
+    }
+
+    #[test]
+    fn intersection_is_conjunction_of_membership(
+        lx in -10i64..10, ly in -10i64..10, ex in 0i64..12, ey in 0i64..12,
+        mx in -10i64..10, my in -10i64..10, fx in 0i64..12, fy in 0i64..12,
+    ) {
+        // Unit stride so lattices always align.
+        let a = RectDomain::new(Point::new([lx, ly]), Point::new([lx + ex, ly + ey]));
+        let b = RectDomain::new(Point::new([mx, my]), Point::new([mx + fx, my + fy]));
+        let i = a.intersect(&b);
+        for x in (lx - 1)..(lx + ex + 1) {
+            for y in (ly - 1)..(ly + ey + 1) {
+                let p = Point::new([x, y]);
+                prop_assert_eq!(i.contains(p), a.contains(p) && b.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_commutes_and_is_idempotent(d in small_domain()) {
+        let d2 = d;
+        let i = d.intersect(&d2);
+        prop_assert_eq!(i.size(), d.size());
+        // With a translated copy (preserving lattice alignment).
+        let t = d.translate(Point::new([d.stride()[0], 0]));
+        let ab = d.intersect(&t);
+        let ba = t.intersect(&d);
+        prop_assert_eq!(ab.size(), ba.size());
+        ab.for_each(|p| assert!(ba.contains(p)));
+    }
+
+    #[test]
+    fn bounding_union_contains_both(
+        lx in -10i64..10, ly in -10i64..10, ex in 0i64..10, ey in 0i64..10,
+        mx in -10i64..10, my in -10i64..10, fx in 0i64..10, fy in 0i64..10,
+    ) {
+        let a = RectDomain::new(Point::new([lx, ly]), Point::new([lx + ex, ly + ey]));
+        let b = RectDomain::new(Point::new([mx, my]), Point::new([mx + fx, my + fy]));
+        let u = a.bounding_union(&b);
+        a.for_each(|p| assert!(u.contains(p)));
+        b.for_each(|p| assert!(u.contains(p)));
+    }
+
+    #[test]
+    fn translate_roundtrip(d in small_domain(), tx in -30i64..30, ty in -30i64..30) {
+        let t = Point::new([tx, ty]);
+        let back = d.translate(t).translate(-t);
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn face_constructions_are_consistent(e in 3i64..10) {
+        let whole = RectDomain::new(Point::<3>::zero(), Point::splat(e));
+        let inner = whole.shrink(1);
+        prop_assert_eq!(inner.size() as i64, (e - 2).pow(3));
+        for dim in 0..3 {
+            for side in [-1i8, 1] {
+                // Interior faces are subsets of the domain with the right size.
+                let inf = whole.interior_face(dim, side, 1);
+                prop_assert_eq!(inf.size() as i64, e * e);
+                inf.for_each(|p| assert!(whole.contains(p)));
+                // Exterior faces are disjoint from the domain…
+                let exf = whole.exterior_face(dim, side, 1);
+                exf.for_each(|p| assert!(!whole.contains(p)));
+                // …and the exterior faces of the shrunk interior lie
+                // inside the original domain (the ghost-shell property).
+                let ghost = inner.exterior_face(dim, side, 1);
+                ghost.for_each(|p| assert!(whole.contains(p)));
+                // Ghost slab = matching interior face of the whole domain,
+                // narrowed to the inner cross-section.
+                prop_assert_eq!(ghost.size() as i64, (e - 2) * (e - 2));
+            }
+        }
+        // Interior points are in no ghost slab.
+        inner.for_each(|p| {
+            for dim in 0..3 {
+                for side in [-1i8, 1] {
+                    assert!(!inner.exterior_face(dim, side, 1).contains(p));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn rows_cover_domain_exactly(d in small_domain()) {
+        let rows = d.rows();
+        let total: usize = rows.iter().map(|&(_, len)| len).sum();
+        prop_assert_eq!(total, d.size());
+        // Each row head is in the domain (when non-empty).
+        for (head, _) in rows {
+            prop_assert!(d.contains(head));
+        }
+    }
+
+    #[test]
+    fn point_algebra_group_laws(
+        a in proptest::array::uniform3(-100i64..100),
+        b in proptest::array::uniform3(-100i64..100),
+    ) {
+        let p = Point::new(a);
+        let q = Point::new(b);
+        prop_assert_eq!(p + q, q + p);
+        prop_assert_eq!(p - p, Point::zero());
+        prop_assert_eq!((p + q) - q, p);
+        prop_assert_eq!(-(-p), p);
+        prop_assert_eq!(p * 2, p + p);
+    }
+
+    #[test]
+    fn permute_inverse_restores(d in small_domain()) {
+        // For 2-D, [1,0] is its own inverse.
+        prop_assert_eq!(d.permute([1, 0]).permute([1, 0]), d);
+    }
+}

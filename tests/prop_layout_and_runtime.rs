@@ -1,0 +1,130 @@
+//! Property-based tests of the block-cyclic layout, Pod packing, the
+//! segment byte machinery and the collectives.
+
+use proptest::prelude::*;
+use rupcxx::prelude::*;
+use rupcxx_net::{pod, Segment};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Block-cyclic layout: `my_indices` of all ranks partition `0..size`,
+    /// each index owned by the rank the layout formula names.
+    #[test]
+    fn block_cyclic_partition(
+        ranks in 1usize..6,
+        block in 1usize..5,
+        size in 0usize..60,
+    ) {
+        let out = spmd(
+            RuntimeConfig::new(ranks).segment_bytes(1 << 16),
+            move |ctx| {
+                let a = SharedArray::<u64>::new(ctx, size, block);
+                let mine: Vec<usize> = a.my_indices(ctx).collect();
+                for &i in &mine {
+                    assert_eq!(a.owner(i), ctx.rank());
+                }
+                ctx.barrier();
+                a.destroy(ctx);
+                mine
+            },
+        );
+        let mut all: Vec<usize> = out.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..size).collect::<Vec<_>>());
+    }
+
+    /// Round trip arbitrary values through the shared array.
+    #[test]
+    fn shared_array_roundtrip(values in proptest::collection::vec(any::<u64>(), 1..40), block in 1usize..4) {
+        let n = values.len();
+        let v2 = values.clone();
+        let out = spmd(RuntimeConfig::new(3).segment_bytes(1 << 16), move |ctx| {
+            let a = SharedArray::<u64>::new(ctx, n, block);
+            if ctx.rank() == 0 {
+                for (i, &v) in v2.iter().enumerate() {
+                    a.write(ctx, i, v);
+                }
+            }
+            ctx.barrier();
+            let got: Vec<u64> = (0..n).map(|i| a.read(ctx, i)).collect();
+            ctx.barrier();
+            a.destroy(ctx);
+            got
+        });
+        for got in out {
+            prop_assert_eq!(&got, &values);
+        }
+    }
+
+    /// Segment byte reads/writes round-trip at any offset/length.
+    #[test]
+    fn segment_byte_roundtrip(offset in 0usize..64, data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let seg = Segment::new(256);
+        seg.write_bytes(offset, &data);
+        let mut out = vec![0u8; data.len()];
+        seg.read_bytes(offset, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    /// Pod pack/unpack is the identity on slices.
+    #[test]
+    fn pod_pack_unpack_identity(values in proptest::collection::vec(any::<f64>(), 0..64)) {
+        let bytes = pod::pack_slice(&values);
+        let back = pod::unpack_slice::<f64>(&bytes);
+        prop_assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Allreduce computes the same fold on every rank, for arbitrary
+    /// per-rank contributions.
+    #[test]
+    fn allreduce_equals_reference(contribs in proptest::collection::vec(any::<i64>(), 1..6)) {
+        let n = contribs.len();
+        let c2 = contribs.clone();
+        let out = spmd(RuntimeConfig::new(n).segment_bytes(1 << 14), move |ctx| {
+            ctx.allreduce(c2[ctx.rank()], i64::wrapping_add)
+        });
+        let expect = contribs.iter().fold(0i64, |a, &b| a.wrapping_add(b));
+        prop_assert!(out.iter().all(|&v| v == expect));
+    }
+
+    /// Exchange is a permutation routing: payload (src,dst) arrives at
+    /// output slot (dst,src) exactly.
+    #[test]
+    fn exchange_routes_exactly(n in 1usize..6, salt in any::<u8>()) {
+        let out = spmd(RuntimeConfig::new(n).segment_bytes(1 << 14), move |ctx| {
+            let me = ctx.rank() as u8;
+            let input: Vec<Vec<u8>> =
+                (0..n).map(|d| vec![salt, me, d as u8]).collect();
+            ctx.exchange(input)
+        });
+        for (me, received) in out.iter().enumerate() {
+            for (src, payload) in received.iter().enumerate() {
+                let expect = [salt, src as u8, me as u8];
+                prop_assert_eq!(payload.as_slice(), expect.as_slice());
+            }
+        }
+    }
+
+    /// Broadcast delivers the root's value regardless of root and size.
+    #[test]
+    fn broadcast_from_any_root(n in 1usize..7, root_sel in any::<u16>(), value in any::<u64>()) {
+        let root = root_sel as usize % n;
+        let out = spmd(RuntimeConfig::new(n).segment_bytes(1 << 14), move |ctx| {
+            let mine = if ctx.rank() == root { value } else { 0 };
+            ctx.broadcast(root, mine)
+        });
+        prop_assert!(out.iter().all(|&v| v == value));
+    }
+
+    /// GlobalPtr arithmetic is linear in element counts.
+    #[test]
+    fn global_ptr_arithmetic_linear(base in 0usize..1000, a in 0usize..50, b in 0usize..50) {
+        let p: GlobalPtr<u32> = GlobalPtr::from_addr(GlobalAddr::new(1, base * 8));
+        prop_assert_eq!(p.offset(a).offset(b), p.offset(a + b));
+        prop_assert_eq!(p.offset(a).addr().offset, base * 8 + 4 * a);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests of the two-sided matching layer (against the MPI
+//! non-overtaking rule) and the event-driven task-DAG machinery.
+
+use proptest::prelude::*;
+use rupcxx::prelude::*;
+use rupcxx_mpi::MpiWorld;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn cfg(n: usize) -> RuntimeConfig {
+    RuntimeConfig::new(n).segment_mib(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Non-overtaking: per (source, tag) stream, messages are received in
+    /// send order no matter how tags interleave and regardless of the
+    /// eager/rendezvous protocol split.
+    #[test]
+    fn mpi_per_tag_fifo_under_random_traffic(
+        tags in proptest::collection::vec(0u64..4, 1..24),
+        eager_limit in prop_oneof![Just(0usize), Just(16usize), Just(usize::MAX)],
+    ) {
+        let world = MpiWorld::with_eager_limit(2, eager_limit);
+        let tags2 = tags.clone();
+        let received = spmd(cfg(2), move |ctx| {
+            let comm = world.comm(ctx);
+            if ctx.rank() == 0 {
+                // Send the i-th message of tag t with payload = sequence
+                // number within that tag (plus filler to cross the
+                // rendezvous threshold sometimes). Non-blocking sends +
+                // waitall: the receiver posts tags out of order, so
+                // blocking sends would be the classic unsafe-MPI deadlock
+                // (which this layer faithfully reproduces).
+                let mut per_tag = [0u8; 4];
+                let mut reqs = Vec::new();
+                for &t in &tags2 {
+                    let seq = per_tag[t as usize];
+                    per_tag[t as usize] += 1;
+                    let mut payload = vec![seq; 3 + (seq as usize % 30)];
+                    payload[0] = seq;
+                    reqs.push(comm.isend(1, t, &payload));
+                }
+                comm.waitall_sends(&reqs);
+                vec![]
+            } else {
+                // Post receives tag-by-tag in a different global order
+                // (reversed), checking per-tag sequence numbers.
+                let mut counts = [0usize; 4];
+                for &t in &tags2 {
+                    counts[t as usize] += 1;
+                }
+                let mut got: Vec<(u64, u8)> = Vec::new();
+                for t in (0u64..4).rev() {
+                    for _ in 0..counts[t as usize] {
+                        let (_, data) = comm.recv(0, t);
+                        got.push((t, data[0]));
+                    }
+                }
+                got
+            }
+        });
+        let got = &received[1];
+        let mut next = [0u8; 4];
+        for &(t, seq) in got {
+            prop_assert_eq!(seq, next[t as usize], "tag {} out of order", t);
+            next[t as usize] += 1;
+        }
+        let total: usize = next.iter().map(|&c| c as usize).sum();
+        prop_assert_eq!(total, tags.len());
+    }
+
+    /// Level-structured event DAGs: every task of level i completes
+    /// before any task of level i+1 starts, for random level widths and
+    /// random target ranks.
+    #[test]
+    fn event_dag_levels_execute_in_order(
+        widths in proptest::collection::vec(1usize..4, 1..5),
+        rank_salt in any::<u64>(),
+    ) {
+        let widths2 = widths.clone();
+        let violations = Arc::new(AtomicUsize::new(0));
+        let executed = Arc::new(AtomicUsize::new(0));
+        let (v2, e2) = (violations.clone(), executed.clone());
+        spmd(cfg(3), move |ctx| {
+            if ctx.rank() != 0 {
+                ctx.barrier();
+                return;
+            }
+            // level_done[i] counts completed tasks of level i.
+            let done: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..widths2.len()).map(|_| AtomicUsize::new(0)).collect());
+            let events: Vec<Event> = (0..widths2.len()).map(|_| Event::new()).collect();
+            for (level, &w) in widths2.iter().enumerate() {
+                for j in 0..w {
+                    let place = ((rank_salt as usize) + level * 3 + j) % ctx.ranks();
+                    let done = done.clone();
+                    let v = v2.clone();
+                    let e = e2.clone();
+                    let prev_width = if level > 0 { widths2[level - 1] } else { 0 };
+                    let task = move |_: &Ctx| {
+                        // All previous-level tasks must already be done.
+                        if level > 0 && done[level - 1].load(Ordering::SeqCst) != prev_width {
+                            v.fetch_add(1, Ordering::SeqCst);
+                        }
+                        e.fetch_add(1, Ordering::SeqCst);
+                        done[level].fetch_add(1, Ordering::SeqCst);
+                    };
+                    if level == 0 {
+                        async_with_event(ctx, place, &events[0], task);
+                    } else {
+                        async_after(ctx, place, &events[level - 1], Some(&events[level]), task);
+                    }
+                }
+            }
+            events.last().unwrap().wait(ctx);
+            ctx.barrier();
+        });
+        prop_assert_eq!(violations.load(Ordering::SeqCst), 0);
+        prop_assert_eq!(executed.load(Ordering::SeqCst), widths.iter().sum::<usize>());
+    }
+
+    /// Finish scopes with a random mix of plain and value-returning
+    /// spawns always complete with every task executed exactly once.
+    #[test]
+    fn finish_scope_random_spawn_mix(
+        plan in proptest::collection::vec((0usize..4, any::<bool>()), 0..12),
+    ) {
+        let plan2 = plan.clone();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = ran.clone();
+        let sums = spmd(cfg(4), move |ctx| {
+            if ctx.rank() != 0 {
+                return 0u64;
+            }
+            ctx.finish(|fs| {
+                let mut futures = Vec::new();
+                for &(place, with_result) in &plan2 {
+                    let r = r2.clone();
+                    if with_result {
+                        futures.push(fs.spawn_with_result(place, move |tctx| {
+                            r.fetch_add(1, Ordering::SeqCst);
+                            tctx.rank() as u64
+                        }));
+                    } else {
+                        fs.spawn(place, move |_| {
+                            r.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                }
+                futures.into_iter().map(|f| f.get(ctx)).sum::<u64>()
+            })
+        });
+        prop_assert_eq!(ran.load(Ordering::SeqCst), plan.len());
+        let expect: u64 = plan
+            .iter()
+            .filter(|&&(_, with)| with)
+            .map(|&(p, _)| p as u64)
+            .sum();
+        prop_assert_eq!(sums[0], expect);
+    }
+}
