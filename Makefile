@@ -1,0 +1,17 @@
+# Local CI gate — the same three checks the workflow runs.
+# `make ci` must be green before merging.
+
+CARGO ?= cargo
+
+.PHONY: ci fmt clippy test
+
+ci: fmt clippy test
+
+fmt:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+test:
+	$(CARGO) test --workspace -q

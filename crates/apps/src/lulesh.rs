@@ -205,7 +205,11 @@ fn rank_of(c: (i64, i64, i64), q: usize) -> usize {
 }
 
 fn coords_of(rank: usize, q: usize) -> (i64, i64, i64) {
-    ((rank % q) as i64, ((rank / q) % q) as i64, (rank / (q * q)) as i64)
+    (
+        (rank % q) as i64,
+        ((rank / q) % q) as i64,
+        (rank / (q * q)) as i64,
+    )
 }
 
 /// Landing buffers for the one-sided exchange: one per incoming direction.
@@ -221,8 +225,7 @@ fn setup_one_sided(ctx: &Ctx, edge: usize) -> OneSidedBufs {
     let mine: Vec<GlobalPtr<f64>> = dirs
         .iter()
         .map(|&d| {
-            allocate::<f64>(ctx, ctx.rank(), NFIELDS * slab_len(d, edge))
-                .expect("landing buffer")
+            allocate::<f64>(ctx, ctx.rank(), NFIELDS * slab_len(d, edge)).expect("landing buffer")
         })
         .collect();
     let flat: Vec<GlobalPtr<f64>> = ctx.allgatherv(&mine);
@@ -292,9 +295,8 @@ pub fn run(ctx: &Ctx, cfg: &LuleshConfig, world: Option<&Arc<MpiWorld>>) -> Lule
             Transport::TwoSided => {
                 let comm = comm.as_ref().expect("checked");
                 // Post all receives first (tag = direction I receive from).
-                let recvs: Vec<RecvReq> = (0..NDIRS)
-                    .map(|d| comm.irecv(nbr[d], d as u64))
-                    .collect();
+                let recvs: Vec<RecvReq> =
+                    (0..NDIRS).map(|d| comm.irecv(nbr[d], d as u64)).collect();
                 // Pack and send: the neighbour in direction d receives my
                 // slab tagged with the direction it sees me from.
                 let sends: Vec<SendReq> = (0..NDIRS)
@@ -365,13 +367,11 @@ pub fn run(ctx: &Ctx, cfg: &LuleshConfig, world: Option<&Arc<MpiWorld>>) -> Lule
                     new_v[c] = st.v[c] + dt * ay;
                     new_w[c] = st.w[c] + dt * az;
                     // Divergence of the (old) velocity field.
-                    let div = (st.u[xp] - st.u[xm] + st.v[yp] - st.v[ym] + st.w[zp]
-                        - st.w[zm])
-                        * inv2dx;
+                    let div =
+                        (st.u[xp] - st.u[xm] + st.v[yp] - st.v[ym] + st.w[zp] - st.w[zm]) * inv2dx;
                     // Continuity & energy (compression work).
                     new_rho[c] = (st.rho[c] - dt * st.rho[c] * div).max(1e-10);
-                    new_en[c] =
-                        (st.en[c] - dt * (st.p[c] + st.q[c]) * div / st.rho[c]).max(1e-12);
+                    new_en[c] = (st.en[c] - dt * (st.p[c] + st.q[c]) * div / st.rho[c]).max(1e-12);
                     let speed =
                         (new_u[c] * new_u[c] + new_v[c] * new_v[c] + new_w[c] * new_w[c]).sqrt();
                     max_speed = max_speed.max(speed);
@@ -486,16 +486,14 @@ mod pgas {
 
         // Global arrays: p+q (single buffer) and double-buffered u, v, w.
         let pq_arr = NdArray::<f64, 3>::new(ctx, halo);
-        let vel: Vec<NdArray<f64, 3>> =
-            (0..6).map(|_| NdArray::<f64, 3>::new(ctx, halo)).collect();
+        let vel: Vec<NdArray<f64, 3>> = (0..6).map(|_| NdArray::<f64, 3>::new(ctx, halo)).collect();
         pq_arr.fill(ctx, 0.0);
         for a in &vel {
             a.fill(ctx, 0.0);
         }
         let pq_dirs: Vec<NdArray<f64, 3>> = ctx.allgatherv(&[pq_arr]);
-        let vel_dirs: Vec<Vec<NdArray<f64, 3>>> = (0..6)
-            .map(|k| ctx.allgatherv(&[vel[k]]))
-            .collect();
+        let vel_dirs: Vec<Vec<NdArray<f64, 3>>> =
+            (0..6).map(|k| ctx.allgatherv(&[vel[k]])).collect();
 
         // Rank-local zonal state (never needs ghosts): same layout and
         // initialization as the packing variants.
@@ -558,17 +556,17 @@ mod pgas {
                 for lj in 1..=edge {
                     for lk in 1..=edge {
                         let c = st.idx(li, lj, lk);
-                        let (gi, gj, gk) =
-                            (lo[0] + li as i64 - 1, lo[1] + lj as i64 - 1, lo[2] + lk as i64 - 1);
-                        let ax =
-                            -(pq_g.at(gi + 1, gj, gk) - pq_g.at(gi - 1, gj, gk)) * inv2dx
-                                / st.rho[c];
-                        let ay =
-                            -(pq_g.at(gi, gj + 1, gk) - pq_g.at(gi, gj - 1, gk)) * inv2dx
-                                / st.rho[c];
-                        let az =
-                            -(pq_g.at(gi, gj, gk + 1) - pq_g.at(gi, gj, gk - 1)) * inv2dx
-                                / st.rho[c];
+                        let (gi, gj, gk) = (
+                            lo[0] + li as i64 - 1,
+                            lo[1] + lj as i64 - 1,
+                            lo[2] + lk as i64 - 1,
+                        );
+                        let ax = -(pq_g.at(gi + 1, gj, gk) - pq_g.at(gi - 1, gj, gk)) * inv2dx
+                            / st.rho[c];
+                        let ay = -(pq_g.at(gi, gj + 1, gk) - pq_g.at(gi, gj - 1, gk)) * inv2dx
+                            / st.rho[c];
+                        let az = -(pq_g.at(gi, gj, gk + 1) - pq_g.at(gi, gj, gk - 1)) * inv2dx
+                            / st.rho[c];
                         un_g.put(gi, gj, gk, u_g.at(gi, gj, gk) + dt * ax);
                         vn_g.put(gi, gj, gk, v_g.at(gi, gj, gk) + dt * ay);
                         wn_g.put(gi, gj, gk, w_g.at(gi, gj, gk) + dt * az);
@@ -626,8 +624,11 @@ mod pgas {
             for lj in 1..=edge {
                 for lk in 1..=edge {
                     let c = st.idx(li, lj, lk);
-                    let (gi, gj, gk) =
-                        (lo[0] + li as i64 - 1, lo[1] + lj as i64 - 1, lo[2] + lk as i64 - 1);
+                    let (gi, gj, gk) = (
+                        lo[0] + li as i64 - 1,
+                        lo[1] + lj as i64 - 1,
+                        lo[2] + lk as i64 - 1,
+                    );
                     let (u, v, w) = (u_g.at(gi, gj, gk), v_g.at(gi, gj, gk), w_g.at(gi, gj, gk));
                     local_energy +=
                         st.rho[c] * st.en[c] + 0.5 * st.rho[c] * (u * u + v * v + w * w);
@@ -719,10 +720,7 @@ mod tests {
             run(ctx, &cfg(4, 2, 4, Transport::OneSided), None)
         });
         let (a, b) = (single[0].total_energy, multi[0].total_energy);
-        assert!(
-            (a - b).abs() <= 1e-12 * a.abs().max(1.0),
-            "{a} vs {b}"
-        );
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
     }
 
     #[test]

@@ -138,11 +138,7 @@ impl Scene {
             let gz = (i / 4) as f64;
             let r = 0.35 + 0.25 * rng.next_f64();
             spheres.push(Sphere {
-                center: Vec3::new(
-                    gx * 1.6 + 0.4 * (rng.next_f64() - 0.5),
-                    r,
-                    -1.0 - gz * 1.4,
-                ),
+                center: Vec3::new(gx * 1.6 + 0.4 * (rng.next_f64() - 0.5), r, -1.0 - gz * 1.4),
                 radius: r,
                 material: Material {
                     albedo: Vec3::new(
@@ -290,7 +286,6 @@ pub struct RayConfig {
     pub seed: u64,
 }
 
-
 /// Result of a distributed render.
 #[derive(Clone, Debug)]
 pub struct RayResult {
@@ -318,7 +313,8 @@ fn render_pixel(scene: &Scene, cfg: &RayConfig, px: usize, py: usize) -> Vec3 {
     for s in 0..cfg.spp {
         // Pixel-indexed stream: identical for any rank/tile decomposition.
         let mut rng = SplitMix64::new(
-            cfg.seed ^ ((py * cfg.width + px) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            cfg.seed
+                ^ ((py * cfg.width + px) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ (s as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
         let jx = rng.next_f64();
@@ -365,7 +361,7 @@ pub fn run_scheduled(ctx: &Ctx, cfg: &RayConfig, schedule: Schedule) -> RayResul
 
     ctx.barrier();
     let t = Timer::start();
-    let partial = parking_lot::Mutex::new(vec![0.0f64; cfg.width * cfg.height * 3]);
+    let partial = rupcxx_util::sync::Mutex::new(vec![0.0f64; cfg.width * cfg.height * 3]);
     let tiles_done = std::sync::atomic::AtomicUsize::new(0);
     let pool = ThreadPool::new(cfg.threads_per_rank);
 
@@ -424,7 +420,10 @@ pub fn run_scheduled(ctx: &Ctx, cfg: &RayConfig, schedule: Schedule) -> RayResul
     let image = gathered.map(|parts| {
         let mut sum = vec![0.0f64; cfg.width * cfg.height * 3];
         for part in parts {
-            for (dst, v) in sum.iter_mut().zip(rupcxx_net::pod::unpack_slice::<f64>(&part)) {
+            for (dst, v) in sum
+                .iter_mut()
+                .zip(rupcxx_net::pod::unpack_slice::<f64>(&part))
+            {
                 *dst += v;
             }
         }

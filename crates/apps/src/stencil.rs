@@ -300,10 +300,7 @@ mod tests {
         let grid = (2, 3, 4);
         for r in 0..24 {
             let c = coords(r, grid);
-            assert_eq!(
-                rank_of((c.0 as i64, c.1 as i64, c.2 as i64), grid),
-                Some(r)
-            );
+            assert_eq!(rank_of((c.0 as i64, c.1 as i64, c.2 as i64), grid), Some(r));
         }
         assert_eq!(rank_of((-1, 0, 0), grid), None);
         assert_eq!(rank_of((0, 3, 0), grid), None);

@@ -4,8 +4,9 @@
 //! (runtime block-cyclic layout + bounds check), (b) the UPC-direct
 //! mask/shift path, and (c) a raw segment word op (lower bound).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rupcxx::{SharedArray, UpcDirectTable};
+use rupcxx_bench::harness::Criterion;
+use rupcxx_bench::{criterion_group, criterion_main};
 use rupcxx_runtime::shared::{HandlerRegistry, Shared};
 use rupcxx_runtime::Ctx;
 use rupcxx_util::GupsRng;

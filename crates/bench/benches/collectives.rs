@@ -3,7 +3,8 @@
 //! barrier's N·⌈log₂N⌉ message count and the binomial trees' log-depth
 //! are what the perf model charges for synchronization at paper scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rupcxx_bench::harness::Criterion;
+use rupcxx_bench::{criterion_group, criterion_main};
 use rupcxx_runtime::{spmd, RuntimeConfig};
 use std::time::{Duration, Instant};
 

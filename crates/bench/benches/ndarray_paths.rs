@@ -1,7 +1,8 @@
 //! Ablation: multidimensional array indexing paths (the Titanium-port
 //! optimizations of §V-B) and ghost-copy layouts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rupcxx_bench::harness::Criterion;
+use rupcxx_bench::{criterion_group, criterion_main};
 use rupcxx_ndarray::{pt, rd, LocalGrid, NdArray};
 use rupcxx_runtime::shared::{HandlerRegistry, Shared};
 use rupcxx_runtime::Ctx;
@@ -10,7 +11,7 @@ fn bench_ndarray(c: &mut Criterion) {
     let shared = Shared::new(1, 64 << 20, HandlerRegistry::new());
     let ctx = Ctx::new(0, shared);
     let e = 32i64;
-    let dom = rd!([0, 0, 0] .. [e, e, e]);
+    let dom = rd!([0, 0, 0]..[e, e, e]);
     let arr = NdArray::<f64, 3>::new(&ctx, dom);
     arr.fill_with(&ctx, |p| (p[0] + p[1] + p[2]) as f64);
     let grid = LocalGrid::new(&ctx, &arr);
@@ -47,8 +48,8 @@ fn bench_ndarray(c: &mut Criterion) {
     src.fill(&ctx, 1.0);
     let dst = NdArray::<f64, 3>::new(&ctx, dom);
     dst.fill(&ctx, 0.0);
-    let face_fast = rd!([0, 0, 0] .. [1, e, e]); // rows contiguous
-    let face_slow = rd!([0, 0, 0] .. [e, e, 1]); // rows of length 1
+    let face_fast = rd!([0, 0, 0]..[1, e, e]); // rows contiguous
+    let face_slow = rd!([0, 0, 0]..[e, e, 1]); // rows of length 1
     let mut g2 = c.benchmark_group("ghost_copy_layout");
     g2.sample_size(20);
     g2.bench_function("plane_contiguous_rows", |b| {

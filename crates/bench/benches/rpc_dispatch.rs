@@ -2,13 +2,14 @@
 //! shortcut) vs registered-handler messages with packed arguments (the
 //! paper's "pack fn pointer + args into a contiguous buffer" path).
 
-use bytes::Bytes;
+use rupcxx::async_on;
 use rupcxx::remote_fn::FnRegistry;
 use rupcxx::spmd_registered;
-use criterion::{criterion_group, criterion_main, Criterion};
-use rupcxx::async_on;
+use rupcxx_bench::harness::Criterion;
+use rupcxx_bench::{criterion_group, criterion_main};
 use rupcxx_runtime::shared::HandlerRegistry;
 use rupcxx_runtime::{spmd, spmd_with_handlers, RuntimeConfig};
+use rupcxx_util::Bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,22 +45,18 @@ fn bench_rpc(c: &mut Criterion) {
                 buf.copy_from_slice(&args);
                 sink2.fetch_add(u64::from_le_bytes(buf), Ordering::Relaxed);
             });
-            let out = spmd_with_handlers(
-                RuntimeConfig::new(2).segment_mib(1),
-                reg,
-                move |ctx| {
-                    if ctx.rank() != 0 {
-                        ctx.barrier();
-                        return std::time::Duration::ZERO;
-                    }
-                    let t = Instant::now();
-                    for i in 0..iters {
-                        ctx.send_handler(1, id, Bytes::copy_from_slice(&i.to_le_bytes()));
-                    }
+            let out = spmd_with_handlers(RuntimeConfig::new(2).segment_mib(1), reg, move |ctx| {
+                if ctx.rank() != 0 {
                     ctx.barrier();
-                    t.elapsed()
-                },
-            );
+                    return std::time::Duration::ZERO;
+                }
+                let t = Instant::now();
+                for i in 0..iters {
+                    ctx.send_handler(1, id, Bytes::copy_from_slice(&i.to_le_bytes()));
+                }
+                ctx.barrier();
+                t.elapsed()
+            });
             out[0]
         })
     });
@@ -68,20 +65,16 @@ fn bench_rpc(c: &mut Criterion) {
         b.iter_custom(|iters| {
             let mut reg = FnRegistry::new();
             let double = reg.register(|_ctx: &rupcxx_runtime::Ctx, x: u64| x * 2);
-            let out = spmd_registered(
-                RuntimeConfig::new(2).segment_mib(1),
-                reg,
-                move |ctx| {
-                    if ctx.rank() != 0 {
-                        return std::time::Duration::ZERO;
-                    }
-                    let t = Instant::now();
-                    for i in 0..iters {
-                        assert_eq!(double.call_blocking(ctx, 1, i), i * 2);
-                    }
-                    t.elapsed()
-                },
-            );
+            let out = spmd_registered(RuntimeConfig::new(2).segment_mib(1), reg, move |ctx| {
+                if ctx.rank() != 0 {
+                    return std::time::Duration::ZERO;
+                }
+                let t = Instant::now();
+                for i in 0..iters {
+                    assert_eq!(double.call_blocking(ctx, 1, i), i * 2);
+                }
+                t.elapsed()
+            });
             out[0]
         })
     });

@@ -2,8 +2,9 @@
 //! difference between UPC and UPC++ synchronization operations" — both
 //! call the same runtime, so we bench the single shared implementation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rupcxx::GlobalLock;
+use rupcxx_bench::harness::Criterion;
+use rupcxx_bench::{criterion_group, criterion_main};
 use rupcxx_runtime::{spmd, RuntimeConfig};
 use std::time::{Duration, Instant};
 

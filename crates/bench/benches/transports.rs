@@ -1,8 +1,9 @@
 //! Ablation: ghost-exchange transports (the Fig. 8 software difference) —
 //! one-sided puts vs two-sided eager vs two-sided rendezvous.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rupcxx::{allocate, deallocate};
+use rupcxx_bench::harness::Criterion;
+use rupcxx_bench::{criterion_group, criterion_main};
 use rupcxx_mpi::MpiWorld;
 use rupcxx_runtime::{spmd, RuntimeConfig};
 use std::time::{Duration, Instant};

@@ -8,7 +8,13 @@ fn main() {
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
     let mut failures = 0;
-    for fig in ["repro-fig4", "repro-fig5", "repro-fig6", "repro-fig7", "repro-fig8"] {
+    for fig in [
+        "repro-fig4",
+        "repro-fig5",
+        "repro-fig6",
+        "repro-fig7",
+        "repro-fig8",
+    ] {
         println!("\n################ {fig} ################");
         let status = Command::new(dir.join(fig))
             .status()

@@ -7,8 +7,8 @@ use rupcxx_bench::calibrate::{gups_software_costs, Calibration};
 use rupcxx_bench::report::{emit, two_series_table};
 use rupcxx_perfmodel::bench_models::gups_model;
 use rupcxx_perfmodel::vesta;
-use rupcxx_runtime::{spmd, RuntimeConfig};
 use rupcxx_runtime::SimNet;
+use rupcxx_runtime::{spmd, RuntimeConfig};
 use rupcxx_util::{table::fnum, Table};
 
 fn measured_point(ranks: usize, variant: Variant) -> (f64, f64) {
@@ -32,7 +32,13 @@ fn main() {
     println!("UPC++ reproduction: Fig. 4 + Table IV (Random Access / GUPS)");
 
     // --- Measured on this host (real runs, ranks are threads). ---
-    let mut m = Table::new(["ranks", "UPC us/up", "UPC++ us/up", "UPC GUPS", "UPC++ GUPS"]);
+    let mut m = Table::new([
+        "ranks",
+        "UPC us/up",
+        "UPC++ us/up",
+        "UPC GUPS",
+        "UPC++ GUPS",
+    ]);
     for ranks in [1usize, 2, 4] {
         let (upc_us, upc_gups) = measured_point(ranks, Variant::UpcDirect);
         let (upcxx_us, upcxx_gups) = measured_point(ranks, Variant::Upcxx);
@@ -44,7 +50,11 @@ fn main() {
             fnum(upcxx_gups),
         ]);
     }
-    emit("fig4_measured", "MEASURED on this host (shared-memory fabric)", &m);
+    emit(
+        "fig4_measured",
+        "MEASURED on this host (shared-memory fabric)",
+        &m,
+    );
 
     // --- Measured with a synthetic wire (SimNet): remote ops pay a
     // BG/Q-like per-op latency, so the host run itself becomes
@@ -58,40 +68,41 @@ fn main() {
     // oversubscribed ranks steal each other's spin time.
     let phys = std::thread::available_parallelism().map_or(2, |n| n.get());
     let mut sm = Table::new(["ranks", "UPC us/up", "UPC++ us/up", "ratio"]);
-    for ranks in [phys.min(2)] {
-        let updates = 30_000 / ranks;
-        // Min-of-3 runs per variant: the injected latency makes runs
-        // short, so scheduler noise must be filtered out.
-        let point = |variant: Variant| {
-            (0..3)
-                .map(|_| {
-                    let out = spmd(
-                        RuntimeConfig::new(ranks).segment_mib(16).with_simnet(simnet),
-                        move |ctx| {
-                            run(
-                                ctx,
-                                &GupsConfig {
-                                    table_size: 1 << 16,
-                                    updates_per_rank: updates,
-                                    variant,
-                                    verify: false,
-                                },
-                            )
-                        },
-                    );
-                    out[0].seconds / out[0].updates as f64 * 1e6
-                })
-                .fold(f64::INFINITY, f64::min)
-        };
-        let upc = point(Variant::UpcDirect);
-        let upcxx = point(Variant::Upcxx);
-        sm.row([
-            ranks.to_string(),
-            fnum(upc),
-            fnum(upcxx),
-            format!("{:.3}", upcxx / upc),
-        ]);
-    }
+    let ranks = phys.min(2);
+    let updates = 30_000 / ranks;
+    // Min-of-3 runs per variant: the injected latency makes runs
+    // short, so scheduler noise must be filtered out.
+    let point = |variant: Variant| {
+        (0..3)
+            .map(|_| {
+                let out = spmd(
+                    RuntimeConfig::new(ranks)
+                        .segment_mib(16)
+                        .with_simnet(simnet),
+                    move |ctx| {
+                        run(
+                            ctx,
+                            &GupsConfig {
+                                table_size: 1 << 16,
+                                updates_per_rank: updates,
+                                variant,
+                                verify: false,
+                            },
+                        )
+                    },
+                );
+                out[0].seconds / out[0].updates as f64 * 1e6
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let upc = point(Variant::UpcDirect);
+    let upcxx = point(Variant::Upcxx);
+    sm.row([
+        ranks.to_string(),
+        fnum(upc),
+        fnum(upcxx),
+        format!("{:.3}", upcxx / upc),
+    ]);
     emit(
         "fig4_measured_simnet",
         "MEASURED with synthetic 1.2us wire: the gap closes when latency dominates",
@@ -131,11 +142,26 @@ fn main() {
     let (lat_upcxx, gups_upcxx) = gups_model(&machine, &cores, sw_ratio.max(1.0));
 
     let t = two_series_table("cores", "UPC us/up", &lat_upc, "UPC++ us/up", &lat_upcxx);
-    emit("fig4_model", "MODELED Fig. 4: latency per update on Vesta (BG/Q)", &t);
+    emit(
+        "fig4_model",
+        "MODELED Fig. 4: latency per update on Vesta (BG/Q)",
+        &t,
+    );
 
     // Table IV rows.
-    let mut t4 = Table::new(["THREADS", "UPC (GUPS)", "UPC++ (GUPS)", "paper UPC", "paper UPC++"]);
-    let paper = [(16, 0.0017, 0.0014), (128, 0.012, 0.0108), (1024, 0.094, 0.084), (8192, 0.69, 0.64)];
+    let mut t4 = Table::new([
+        "THREADS",
+        "UPC (GUPS)",
+        "UPC++ (GUPS)",
+        "paper UPC",
+        "paper UPC++",
+    ]);
+    let paper = [
+        (16, 0.0017, 0.0014),
+        (128, 0.012, 0.0108),
+        (1024, 0.094, 0.084),
+        (8192, 0.69, 0.64),
+    ];
     for &(threads, p_upc, p_upcxx) in &paper {
         let i = cores.iter().position(|&c| c == threads).expect("in series");
         t4.row([
@@ -146,7 +172,11 @@ fn main() {
             fnum(p_upcxx),
         ]);
     }
-    emit("table4_model", "MODELED Table IV: GUPS (paper values alongside)", &t4);
+    emit(
+        "table4_model",
+        "MODELED Table IV: GUPS (paper values alongside)",
+        &t4,
+    );
 
     println!(
         "\nshape check: UPC++/UPC latency ratio at 128 cores = {:.3}, at 8192 cores = {:.3} (paper: gap shrinks from ~10% to a few %)",

@@ -68,7 +68,13 @@ fn main() {
     let cores = [24usize, 48, 96, 192, 384, 768, 1536, 3072, 6144];
     let titanium = stencil_model(&machine, &cores, sw_titanium, 256);
     let upcxx = stencil_model(&machine, &cores, sw_upcxx, 256);
-    let t = two_series_table("cores", "Titanium GFLOPS", &titanium, "UPC++ GFLOPS", &upcxx);
+    let t = two_series_table(
+        "cores",
+        "Titanium GFLOPS",
+        &titanium,
+        "UPC++ GFLOPS",
+        &upcxx,
+    );
     emit(
         "fig5_model",
         "MODELED Fig. 5: weak-scaling GFLOPS on Edison (256^3 per rank)",

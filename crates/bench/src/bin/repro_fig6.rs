@@ -39,7 +39,11 @@ fn main() {
             (v1 && v2).to_string(),
         ]);
     }
-    emit("fig6_measured", "MEASURED on this host (100k keys/rank)", &m);
+    emit(
+        "fig6_measured",
+        "MEASURED on this host (100k keys/rank)",
+        &m,
+    );
 
     // --- Calibrate and model Edison. ---
     let cal = Calibration::measure();
@@ -53,7 +57,9 @@ fn main() {
     // The UPC++ proxy accesses only touch the sampling phase (p·oversample
     // reads out of millions of keys), so the software difference between
     // the variants is far below 1% — the paper's "nearly identical".
-    let cores = [1usize, 2, 4, 8, 12, 24, 48, 96, 192, 384, 768, 1536, 3072, 6144, 12288];
+    let cores = [
+        1usize, 2, 4, 8, 12, 24, 48, 96, 192, 384, 768, 1536, 3072, 6144, 12288,
+    ];
     let upc = sort_model(&machine, &cores, 1 << 20, sw);
     let upcxx = sort_model(&machine, &cores, 1 << 20, sw * 1.002);
     let t = two_series_table("cores", "UPC TB/min", &upc, "UPC++ TB/min", &upcxx);

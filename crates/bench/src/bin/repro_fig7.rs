@@ -30,7 +30,12 @@ fn main() {
     })[0]
         .clone();
     let mut m = Table::new(["ranks", "seconds", "speedup", "checksum==1rank"]);
-    m.row(["1".to_string(), fnum(base.seconds), "1.000".to_string(), "true".to_string()]);
+    m.row([
+        "1".to_string(),
+        fnum(base.seconds),
+        "1.000".to_string(),
+        "true".to_string(),
+    ]);
     for ranks in [2usize, 4] {
         let r = spmd(RuntimeConfig::new(ranks).segment_mib(16), |ctx| {
             run(ctx, &cfg())
@@ -43,7 +48,11 @@ fn main() {
             (r.checksum == base.checksum).to_string(),
         ]);
     }
-    emit("fig7_measured", "MEASURED on this host (160x120, 4 spp)", &m);
+    emit(
+        "fig7_measured",
+        "MEASURED on this host (160x120, 4 spp)",
+        &m,
+    );
 
     // --- Model Edison strong scaling of the paper-size render. ---
     let cal = Calibration::measure();
@@ -55,8 +64,7 @@ fn main() {
     // only the compute/communicate ratio matters for the scaling shape).
     const SCENE_COMPLEXITY: f64 = 40.0;
     let per_sample = host_t1 / (160.0 * 120.0 * 2.0);
-    let t1_paper =
-        cal.scale_to(&machine, per_sample) * 2048.0 * 2048.0 * 256.0 * SCENE_COMPLEXITY;
+    let t1_paper = cal.scale_to(&machine, per_sample) * 2048.0 * 2048.0 * 256.0 * SCENE_COMPLEXITY;
     println!(
         "\ncalibration: host per-pixel-sample {:.2} us → modeled 1-core render {:.0} s",
         per_sample * 1e6,

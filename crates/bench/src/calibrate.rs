@@ -98,7 +98,9 @@ pub fn layout_path_ratio(samples: usize) -> f64 {
     let mask = ranks - 1;
     let shift = ranks.trailing_zeros();
     let mut rng = GupsRng::new();
-    let idxs: Vec<usize> = (0..samples).map(|_| rng.next_u64() as usize % size).collect();
+    let idxs: Vec<usize> = (0..samples)
+        .map(|_| rng.next_u64() as usize % size)
+        .collect();
 
     // Proxy path: what SharedArray::ptr computes per access.
     let proxy_once = || {
@@ -239,12 +241,18 @@ mod tests {
         assert!(proxy > 0.0 && direct > 0.0);
         // The direct path must not be significantly slower than the proxy
         // path (it is the strictly-less-work baseline).
-        assert!(direct < proxy * 1.5, "proxy {proxy:.2e} direct {direct:.2e}");
+        assert!(
+            direct < proxy * 1.5,
+            "proxy {proxy:.2e} direct {direct:.2e}"
+        );
     }
 
     #[test]
     fn stencil_optimized_faster() {
         let (generic, optimized) = stencil_software_costs(24, 2);
-        assert!(optimized < generic, "generic {generic:.2e} vs optimized {optimized:.2e}");
+        assert!(
+            optimized < generic,
+            "generic {generic:.2e} vs optimized {optimized:.2e}"
+        );
     }
 }

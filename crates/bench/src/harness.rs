@@ -1,0 +1,227 @@
+//! A miniature Criterion-compatible bench harness.
+//!
+//! The ablation benches under `benches/` were written against `criterion`;
+//! this module provides the same surface (`Criterion`, `benchmark_group`,
+//! `bench_function`, `iter`/`iter_custom`, the `criterion_group!` /
+//! `criterion_main!` macros) without external dependencies, so
+//! `cargo bench` works offline. Each benchmark is calibrated to a target
+//! sample duration, run for `sample_size` samples, and its per-iteration
+//! latencies are folded into a [`Log2Histogram`] — the same histogram type
+//! the tracing layer uses — from which the p50/p99 in `BENCH_trace.json`
+//! are taken.
+
+use rupcxx_trace::Log2Histogram;
+use rupcxx_util::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished benchmark: latency percentiles and throughput.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function` name.
+    pub name: String,
+    /// Median per-iteration latency, nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile per-iteration latency, nanoseconds.
+    pub p99_ns: f64,
+    /// Mean per-iteration latency, nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations per second at the median latency.
+    pub ops_per_s: f64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// All results recorded by this process so far.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock())
+}
+
+/// Entry point object handed to each bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Ignored (kept for criterion API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Calibrate, measure and report one benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let full = if self.name.is_empty() {
+            name.clone()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes at least ~2 ms (bounded so pathological cases terminate).
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 22 {
+                break;
+            }
+            // Jump straight towards the target when we undershot a lot.
+            let per_iter = b.elapsed.as_nanos().max(1) as u64 / iters;
+            iters = (2_000_000 / per_iter.max(1)).clamp(iters * 2, iters * 16);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let hist = Log2Histogram::new();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+            per_iter_ns.push(ns);
+            hist.record(ns as u64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| per_iter_ns[((per_iter_ns.len() - 1) as f64 * p) as usize];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let result = BenchResult {
+            name: full.clone(),
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            mean_ns: mean,
+            ops_per_s: if pct(0.50) > 0.0 {
+                1e9 / pct(0.50)
+            } else {
+                0.0
+            },
+        };
+        println!(
+            "bench {full:<44} {:>12.1} ns/iter  (p50 {:.1}, p99 {:.1}, {} samples x {} iters)",
+            result.mean_ns, result.p50_ns, result.p99_ns, self.sample_size, iters
+        );
+        RESULTS.lock().push(result);
+    }
+
+    /// End the group (criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t.elapsed();
+    }
+
+    /// Let the closure time `iters` iterations itself and return the total.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Prevent the optimizer from discarding a value (criterion's `black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define the bench entry function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main`: run the groups, then append results to `BENCH_trace.json`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::report::emit_bench_trace(&$crate::harness::take_results());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_result() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        let results = take_results();
+        let r = results
+            .iter()
+            .find(|r| r.name == "t/noop")
+            .expect("recorded");
+        assert!(r.p50_ns >= 0.0 && r.p99_ns >= r.p50_ns);
+        assert!(r.ops_per_s > 0.0);
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(2);
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_micros(100 * iters.max(1)))
+        });
+        let results = take_results();
+        let r = results
+            .iter()
+            .find(|r| r.name == "t2/custom")
+            .expect("recorded");
+        // 100 µs per iteration, within float tolerance.
+        assert!((r.p50_ns - 100_000.0).abs() < 1.0, "p50 {}", r.p50_ns);
+    }
+}

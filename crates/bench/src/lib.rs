@@ -12,6 +12,7 @@
 //!    **modeled** series at the paper's scales on the paper's machine.
 
 pub mod calibrate;
+pub mod harness;
 pub mod report;
 
 pub use calibrate::Calibration;

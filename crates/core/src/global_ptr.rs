@@ -104,7 +104,8 @@ impl<T: Pod> GlobalPtr<T> {
         if size == 8 && self.addr.offset.is_multiple_of(8) {
             let mut w = [0u8; 8];
             value.write_to(&mut w);
-            ctx.fabric().put_u64(ctx.rank(), self.addr, u64::from_le_bytes(w));
+            ctx.fabric()
+                .put_u64(ctx.rank(), self.addr, u64::from_le_bytes(w));
             return;
         }
         let mut buf = vec![0u8; size];

@@ -86,8 +86,8 @@ pub mod prelude {
     pub use crate::rpc::{async_after, async_on, async_on_all, async_with_event};
     pub use crate::shared_array::SharedArray;
     pub use crate::shared_var::SharedVar;
-    pub use rupcxx_net::{GlobalAddr, Pod, Rank, SimNet};
     pub use crate::upc_mode::UpcDirectTable;
+    pub use rupcxx_net::{GlobalAddr, Pod, Rank, SimNet};
     pub use rupcxx_runtime::{
         spmd, Ctx, Event, FinishScope, GlobalLock, RtFuture, RuntimeConfig, Team,
     };

@@ -36,17 +36,16 @@
 //! assert_eq!(out[0], 81);
 //! ```
 
-use bytes::Bytes;
 use rupcxx_net::{Pod, Rank};
 use rupcxx_runtime::shared::HandlerRegistry;
 use rupcxx_runtime::{Ctx, RtFuture, RuntimeConfig};
+use rupcxx_util::Bytes;
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering;
 
 /// A handle to a function registered identically on every rank.
 pub struct RemoteFn<A: Pod, R: Pod> {
     id: u16,
-    reply_id: u16,
     _sig: PhantomData<fn(A) -> R>,
 }
 
@@ -112,7 +111,6 @@ impl FnRegistry {
         });
         RemoteFn {
             id,
-            reply_id,
             _sig: PhantomData,
         }
     }
@@ -238,6 +236,6 @@ mod tests {
             let fs: Vec<_> = (0..ctx.ranks()).map(|r| rank_sq.call(ctx, r, 0)).collect();
             fs.into_iter().map(|f| f.get(ctx)).sum::<u64>()
         });
-        assert_eq!(out[0], 0 + 1 + 4 + 9);
+        assert_eq!(out[0], 14); // 0² + 1² + 2² + 3²
     }
 }

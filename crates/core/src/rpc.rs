@@ -168,17 +168,18 @@ mod tests {
         // Reproduces Listing 1 / Fig. 1: six tasks, three events.
         //   t1,t2 -> e1;  t3 = after e1, signals e2; t4 -> e2;
         //   t5,t6 = after e2, signal e3;  wait e3.
-        let order: Arc<parking_lot::Mutex<Vec<&'static str>>> = Arc::default();
+        let order: Arc<rupcxx_util::sync::Mutex<Vec<&'static str>>> = Arc::default();
         let o = order.clone();
         spmd(cfg(4), move |ctx| {
             if ctx.rank() == 0 {
                 let (e1, e2, e3) = (Event::new(), Event::new(), Event::new());
-                let push = |name: &'static str, o: &Arc<parking_lot::Mutex<Vec<&'static str>>>| {
-                    let o = o.clone();
-                    move |_: &Ctx| {
-                        o.lock().push(name);
-                    }
-                };
+                let push =
+                    |name: &'static str, o: &Arc<rupcxx_util::sync::Mutex<Vec<&'static str>>>| {
+                        let o = o.clone();
+                        move |_: &Ctx| {
+                            o.lock().push(name);
+                        }
+                    };
                 async_with_event(ctx, 1, &e1, push("t1", &o));
                 async_with_event(ctx, 2, &e1, push("t2", &o));
                 async_after(ctx, 3, &e1, Some(&e2), push("t3", &o));

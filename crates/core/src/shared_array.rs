@@ -80,7 +80,11 @@ impl<T: Pod> SharedArray<T> {
     /// `block-cyclic index → (rank, local slot)`.
     #[inline]
     pub fn ptr(&self, i: usize) -> GlobalPtr<T> {
-        assert!(i < self.size, "SharedArray index {i} out of bounds {}", self.size);
+        assert!(
+            i < self.size,
+            "SharedArray index {i} out of bounds {}",
+            self.size
+        );
         let blk = i / self.block;
         let rank = blk % self.ranks;
         let local_slot = (blk / self.ranks) * self.block + (i % self.block);

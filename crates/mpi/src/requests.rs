@@ -1,6 +1,6 @@
 //! Request handles for non-blocking operations (`MPI_Request` analogues).
 
-use parking_lot::Mutex;
+use rupcxx_util::sync::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 

@@ -2,9 +2,9 @@
 
 use crate::matching::{Incoming, MatchEngine, ANY};
 use crate::requests::{RecvReq, RecvState, SendReq};
-use parking_lot::Mutex;
 use rupcxx_net::{pod, GlobalAddr, Pod, Rank};
 use rupcxx_runtime::{Ctx, Shared};
+use rupcxx_util::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,7 +39,9 @@ impl MpiWorld {
     /// rendezvous for everything — the ablation knob).
     pub fn with_eager_limit(ranks: usize, eager_limit: usize) -> Arc<Self> {
         Arc::new(MpiWorld {
-            engines: (0..ranks).map(|_| Mutex::new(MatchEngine::default())).collect(),
+            engines: (0..ranks)
+                .map(|_| Mutex::new(MatchEngine::default()))
+                .collect(),
             staged: (0..ranks).map(|_| Mutex::new(HashMap::new())).collect(),
             tokens: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
             eager_limit,
@@ -125,7 +127,9 @@ impl<'a> Comm<'a> {
         if data.len() <= self.world.eager_limit {
             let payload = data.to_vec();
             self.ctx.send_task(dst, move || {
-                let matched = world.engines[dst].lock().deliver(me, tag, Incoming::Eager(payload));
+                let matched = world.engines[dst]
+                    .lock()
+                    .deliver(me, tag, Incoming::Eager(payload));
                 if let Some((state, body)) = matched {
                     complete_match(&world, &shared, dst, me, state, body);
                 }
@@ -149,10 +153,11 @@ impl<'a> Comm<'a> {
         );
         let len = data.len();
         self.ctx.send_task(dst, move || {
-            let matched =
-                world.engines[dst]
-                    .lock()
-                    .deliver(me, tag, Incoming::Rendezvous { staged, len, token });
+            let matched = world.engines[dst].lock().deliver(
+                me,
+                tag,
+                Incoming::Rendezvous { staged, len, token },
+            );
             if let Some((state, body)) = matched {
                 complete_match(&world, &shared, dst, me, state, body);
             }
@@ -170,14 +175,7 @@ impl<'a> Comm<'a> {
         };
         let matched = self.world.engines[me].lock().post(src, tag, state.clone());
         if let Some((actual_src, body)) = matched {
-            complete_match(
-                &self.world,
-                self.ctx.shared(),
-                me,
-                actual_src,
-                state,
-                body,
-            );
+            complete_match(&self.world, self.ctx.shared(), me, actual_src, state, body);
         }
         req
     }
@@ -195,14 +193,12 @@ impl<'a> Comm<'a> {
 
     /// Wait for all given sends.
     pub fn waitall_sends(&self, reqs: &[SendReq]) {
-        self.ctx
-            .wait_until(|| reqs.iter().all(|r| r.is_complete()));
+        self.ctx.wait_until(|| reqs.iter().all(|r| r.is_complete()));
     }
 
     /// Wait for all given receives; payloads in request order.
     pub fn waitall_recvs(&self, reqs: &[RecvReq]) -> Vec<(Rank, Vec<u8>)> {
-        self.ctx
-            .wait_until(|| reqs.iter().all(|r| r.is_complete()));
+        self.ctx.wait_until(|| reqs.iter().all(|r| r.is_complete()));
         reqs.iter().map(|r| r.take()).collect()
     }
 
@@ -371,7 +367,10 @@ mod tests {
             let comm = world.comm(ctx);
             let me = ctx.rank();
             let n = ctx.ranks();
-            let recvs: Vec<RecvReq> = (0..n).filter(|&r| r != me).map(|r| comm.irecv(r, 1)).collect();
+            let recvs: Vec<RecvReq> = (0..n)
+                .filter(|&r| r != me)
+                .map(|r| comm.irecv(r, 1))
+                .collect();
             let payload = vec![me as u8; 32];
             let sends: Vec<SendReq> = (0..n)
                 .filter(|&r| r != me)

@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn fill_and_read_back_2d() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [4, 5]));
+            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0]..[4, 5]));
             a.fill_with(ctx, |p| (p[0] * 10 + p[1]) as f64);
             assert_eq!(a.get(ctx, pt![0, 0]), 0.0);
             assert_eq!(a.get(ctx, pt![3, 4]), 34.0);
@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn negative_bounds_domains() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<i64, 2>::new(ctx, rd!([-2, -2] .. [2, 2]));
+            let a = NdArray::<i64, 2>::new(ctx, rd!([-2, -2]..[2, 2]));
             a.fill_with(ctx, |p| p[0] * 100 + p[1]);
             assert_eq!(a.get(ctx, pt![-2, -2]), -202);
             assert_eq!(a.get(ctx, pt![1, -1]), 99);
@@ -285,7 +285,7 @@ mod tests {
     #[should_panic(expected = "outside domain")]
     fn out_of_domain_panics() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [2, 2]));
+            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0]..[2, 2]));
             let _ = a.get(ctx, pt![2, 0]);
         });
     }
@@ -293,10 +293,10 @@ mod tests {
     #[test]
     fn restrict_shares_storage() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [6, 6]));
+            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0]..[6, 6]));
             a.fill(ctx, 1.0);
             let interior = a.restrict(a.domain().shrink(1));
-            assert_eq!(interior.domain(), rd!([1, 1] .. [5, 5]));
+            assert_eq!(interior.domain(), rd!([1, 1]..[5, 5]));
             interior.fill(ctx, 2.0);
             // Boundary untouched, interior updated — same storage.
             assert_eq!(a.get(ctx, pt![0, 0]), 1.0);
@@ -310,10 +310,10 @@ mod tests {
     #[test]
     fn translate_view() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<i64, 1>::new(ctx, rd!([0] .. [4]));
+            let a = NdArray::<i64, 1>::new(ctx, rd!([0]..[4]));
             a.fill_with(ctx, |p| p[0] * 2);
             let t = a.translate(pt![10]);
-            assert_eq!(t.domain(), rd!([10] .. [14]));
+            assert_eq!(t.domain(), rd!([10]..[14]));
             assert_eq!(t.get(ctx, pt![10]), 0);
             assert_eq!(t.get(ctx, pt![13]), 6);
             a.destroy(ctx);
@@ -323,11 +323,11 @@ mod tests {
     #[test]
     fn slice_3d_to_2d() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<i64, 3>::new(ctx, rd!([0, 0, 0] .. [3, 4, 5]));
+            let a = NdArray::<i64, 3>::new(ctx, rd!([0, 0, 0]..[3, 4, 5]));
             a.fill_with(ctx, |p| p[0] * 100 + p[1] * 10 + p[2]);
             // Slice plane i = 1.
             let s = a.slice(0, 1);
-            assert_eq!(s.domain(), rd!([0, 0] .. [4, 5]));
+            assert_eq!(s.domain(), rd!([0, 0]..[4, 5]));
             assert_eq!(s.get(ctx, pt![2, 3]), 123);
             // Slice along the middle dim: j = 2.
             let m = a.slice(1, 2);
@@ -342,10 +342,10 @@ mod tests {
     #[test]
     fn permute_swaps_axes() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<i64, 2>::new(ctx, rd!([0, 0] .. [2, 3]));
+            let a = NdArray::<i64, 2>::new(ctx, rd!([0, 0]..[2, 3]));
             a.fill_with(ctx, |p| p[0] * 10 + p[1]);
             let t = a.permute([1, 0]); // transpose
-            assert_eq!(t.domain(), rd!([0, 0] .. [3, 2]));
+            assert_eq!(t.domain(), rd!([0, 0]..[3, 2]));
             assert_eq!(t.get(ctx, pt![2, 1]), 12);
             assert_eq!(t.get(ctx, pt![0, 1]), 10);
             a.destroy(ctx);
@@ -358,11 +358,17 @@ mod tests {
             // Rank 1 creates a grid; rank 0 reads it through the broadcast
             // descriptor (the directory pattern).
             let desc = if ctx.rank() == 1 {
-                let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [3, 3]));
+                let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0]..[3, 3]));
                 a.fill_with(ctx, |p| (p[0] + p[1]) as f64);
                 ctx.broadcast(1, a)
             } else {
-                ctx.broadcast(1, NdArray::<f64, 2>::read_from(&vec![0u8; std::mem::size_of::<NdArray<f64, 2>>()]))
+                ctx.broadcast(
+                    1,
+                    NdArray::<f64, 2>::read_from(&vec![
+                        0u8;
+                        std::mem::size_of::<NdArray<f64, 2>>()
+                    ]),
+                )
             };
             assert_eq!(desc.owner(), 1);
             let v = desc.get(ctx, pt![2, 1]);
@@ -377,7 +383,7 @@ mod tests {
     #[test]
     fn to_vec_lexicographic() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<i64, 2>::new(ctx, rd!([0, 0] .. [2, 2]));
+            let a = NdArray::<i64, 2>::new(ctx, rd!([0, 0]..[2, 2]));
             a.fill_with(ctx, |p| p[0] * 2 + p[1]);
             assert_eq!(a.to_vec(ctx), vec![0, 1, 2, 3]);
             a.destroy(ctx);

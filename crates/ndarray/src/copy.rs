@@ -182,8 +182,8 @@ mod tests {
     #[test]
     fn copy_full_overlap_local() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [4, 4]));
-            let b = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [4, 4]));
+            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0]..[4, 4]));
+            let b = NdArray::<f64, 2>::new(ctx, rd!([0, 0]..[4, 4]));
             b.fill_with(ctx, |p| (p[0] * 4 + p[1]) as f64);
             a.fill(ctx, -1.0);
             a.copy_from(ctx, &b);
@@ -196,8 +196,8 @@ mod tests {
     #[test]
     fn copy_partial_overlap() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<i64, 2>::new(ctx, rd!([0, 0] .. [4, 4]));
-            let b = NdArray::<i64, 2>::new(ctx, rd!([2, 2] .. [6, 6]));
+            let a = NdArray::<i64, 2>::new(ctx, rd!([0, 0]..[4, 4]));
+            let b = NdArray::<i64, 2>::new(ctx, rd!([2, 2]..[6, 6]));
             a.fill(ctx, 0);
             b.fill(ctx, 9);
             a.copy_from(ctx, &b);
@@ -214,8 +214,8 @@ mod tests {
     #[test]
     fn copy_disjoint_is_noop() {
         spmd(cfg(1), |ctx| {
-            let a = NdArray::<i64, 1>::new(ctx, rd!([0] .. [4]));
-            let b = NdArray::<i64, 1>::new(ctx, rd!([10] .. [14]));
+            let a = NdArray::<i64, 1>::new(ctx, rd!([0]..[4]));
+            let b = NdArray::<i64, 1>::new(ctx, rd!([10]..[14]));
             a.fill(ctx, 1);
             b.fill(ctx, 2);
             a.copy_from(ctx, &b);
@@ -232,8 +232,8 @@ mod tests {
             let me = ctx.rank() as i64;
             // Rank r owns interior [4r..4r+4) × [0..4) × [0..4), with a
             // one-cell ghost shell along dim 0.
-            let interior = rd!([4 * me, 0, 0] .. [4 * me + 4, 4, 4]);
-            let with_ghosts = rd!([4 * me - 1, 0, 0] .. [4 * me + 5, 4, 4]);
+            let interior = rd!([4 * me, 0, 0]..[4 * me + 4, 4, 4]);
+            let with_ghosts = rd!([4 * me - 1, 0, 0]..[4 * me + 5, 4, 4]);
             let grid = NdArray::<f64, 3>::new(ctx, with_ghosts);
             grid.fill(ctx, -1.0);
             grid.restrict(interior)
@@ -263,7 +263,7 @@ mod tests {
     fn copy_counts_one_strided_op_per_side_for_planes() {
         spmd(cfg(2), |ctx| {
             let me = ctx.rank() as i64;
-            let dom = rd!([0, 0, 4 * me] .. [4, 4, 4 * me + 4]);
+            let dom = rd!([0, 0, 4 * me]..[4, 4, 4 * me + 4]);
             let grid = NdArray::<f64, 3>::new(ctx, dom);
             grid.fill(ctx, me as f64);
             let dirs: Vec<NdArray<f64, 3>> = ctx.allgatherv(&[grid]);
@@ -273,7 +273,7 @@ mod tests {
                 // Copy a face of the neighbour's grid (normal to dim 0:
                 // rows run along dim 2, heads vary along dim 1 with
                 // uniform spacing in the source storage).
-                let face = rd!([1, 0, 4] .. [2, 4, 8]);
+                let face = rd!([1, 0, 4]..[2, 4, 8]);
                 let dst = grid.translate(pt![0, 0, 4]); // view over neighbour's coords
                 dst.restrict(face).copy_from(ctx, &dirs[1]);
                 let counts = ctx.fabric().endpoint(0).stats.snapshot();
@@ -292,7 +292,7 @@ mod tests {
         spmd(cfg(1), |ctx| {
             // Destination is a stride-2 view: scattered layout path.
             let a = NdArray::<i64, 1>::new(ctx, rd!([0] .. [8]; [2]));
-            let b = NdArray::<i64, 1>::new(ctx, rd!([0] .. [8]));
+            let b = NdArray::<i64, 1>::new(ctx, rd!([0]..[8]));
             a.fill(ctx, 0);
             b.fill_with(ctx, |p| p[0] + 1);
             // Intersection on a's lattice requires equal strides, so

@@ -63,7 +63,11 @@ impl<T: Pod, const N: usize> DistArray<T, N> {
             ctx.ranks(),
             "process grid must cover all ranks"
         );
-        assert_eq!(global.stride(), Point::ones(), "unit-stride global domains only");
+        assert_eq!(
+            global.stride(),
+            Point::ones(),
+            "unit-stride global domains only"
+        );
         assert!(ghost >= 0);
         let my_coords = Self::coords_of(ctx.rank(), &pgrid);
         let mut lo = global.lo();
@@ -274,7 +278,7 @@ mod tests {
     #[test]
     fn global_set_get_roundtrip_2d() {
         spmd(cfg(4), |ctx| {
-            let a = DistArray::<i64, 2>::new(ctx, rd!([0, 0] .. [10, 7]), [2, 2], 0);
+            let a = DistArray::<i64, 2>::new(ctx, rd!([0, 0]..[10, 7]), [2, 2], 0);
             // Each rank writes its own interior.
             a.fill_interior_with(ctx, |p| p[0] * 100 + p[1]);
             ctx.barrier();
@@ -290,7 +294,7 @@ mod tests {
     #[test]
     fn remote_writes_land_on_owner() {
         spmd(cfg(2), |ctx| {
-            let a = DistArray::<u64, 1>::new(ctx, rd!([0] .. [10]), [2], 0);
+            let a = DistArray::<u64, 1>::new(ctx, rd!([0]..[10]), [2], 0);
             ctx.barrier();
             if ctx.rank() == 0 {
                 // Write the *other* rank's half.
@@ -313,7 +317,7 @@ mod tests {
     #[test]
     fn ghost_exchange_matches_neighbours_3d() {
         spmd(cfg(8), |ctx| {
-            let a = DistArray::<f64, 3>::new(ctx, rd!([0, 0, 0] .. [8, 8, 8]), [2, 2, 2], 1);
+            let a = DistArray::<f64, 3>::new(ctx, rd!([0, 0, 0]..[8, 8, 8]), [2, 2, 2], 1);
             a.fill_interior_with(ctx, |p| (p[0] * 64 + p[1] * 8 + p[2]) as f64);
             ctx.barrier();
             a.exchange_ghosts(ctx);
@@ -344,7 +348,7 @@ mod tests {
     fn uneven_partition_1d() {
         spmd(cfg(3), |ctx| {
             // 10 points over 3 ranks: blocks of 3/3/4 (block_bounds math).
-            let a = DistArray::<u64, 1>::new(ctx, rd!([0] .. [10]), [3], 0);
+            let a = DistArray::<u64, 1>::new(ctx, rd!([0]..[10]), [3], 0);
             let sizes = ctx.allgatherv(&[a.interior().size() as u64]);
             assert_eq!(sizes.iter().sum::<u64>(), 10);
             assert!(sizes.iter().all(|&s| s >= 3));
@@ -384,8 +388,8 @@ mod tests {
             out
         };
         let out = spmd(cfg(4), |ctx| {
-            let a = DistArray::<f64, 2>::new(ctx, rd!([0, 0] .. [6, 6]), [2, 2], 1);
-            let b = DistArray::<f64, 2>::new(ctx, rd!([0, 0] .. [6, 6]), [2, 2], 0);
+            let a = DistArray::<f64, 2>::new(ctx, rd!([0, 0]..[6, 6]), [2, 2], 1);
+            let b = DistArray::<f64, 2>::new(ctx, rd!([0, 0]..[6, 6]), [2, 2], 0);
             // Zero ghosts everywhere first (boundary condition), then the
             // interior values.
             a.local().fill(ctx, 0.0);
@@ -422,7 +426,7 @@ mod tests {
     #[should_panic(expected = "process grid must cover")]
     fn wrong_pgrid_rejected() {
         spmd(cfg(3), |ctx| {
-            let _ = DistArray::<u64, 2>::new(ctx, rd!([0, 0] .. [4, 4]), [2, 2], 0);
+            let _ = DistArray::<u64, 2>::new(ctx, rd!([0, 0]..[4, 4]), [2, 2], 0);
         });
     }
 }

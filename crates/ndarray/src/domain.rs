@@ -256,7 +256,7 @@ mod tests {
 
     #[test]
     fn size_and_extent() {
-        let d = rd!([0, 0] .. [4, 6]);
+        let d = rd!([0, 0]..[4, 6]);
         assert_eq!(d.size(), 24);
         assert_eq!(d.extent(0), 4);
         assert_eq!(d.extent(1), 6);
@@ -268,7 +268,7 @@ mod tests {
 
     #[test]
     fn empty_domains() {
-        let d = rd!([3, 3] .. [3, 5]);
+        let d = rd!([3, 3]..[3, 5]);
         assert!(d.is_empty());
         assert_eq!(d.size(), 0);
         let mut count = 0;
@@ -290,39 +290,48 @@ mod tests {
 
     #[test]
     fn intersect_and_union() {
-        let a = rd!([0, 0] .. [6, 6]);
-        let b = rd!([3, 2] .. [9, 5]);
+        let a = rd!([0, 0]..[6, 6]);
+        let b = rd!([3, 2]..[9, 5]);
         let i = a.intersect(&b);
-        assert_eq!(i, rd!([3, 2] .. [6, 5]));
+        assert_eq!(i, rd!([3, 2]..[6, 5]));
         let u = a.bounding_union(&b);
-        assert_eq!(u, rd!([0, 0] .. [9, 6]));
+        assert_eq!(u, rd!([0, 0]..[9, 6]));
         // Disjoint intersection is empty.
-        let c = rd!([10, 10] .. [12, 12]);
+        let c = rd!([10, 10]..[12, 12]);
         assert!(a.intersect(&c).is_empty());
     }
 
     #[test]
     fn translate_shrink_faces() {
-        let d = rd!([0, 0, 0] .. [10, 10, 10]);
-        assert_eq!(d.translate(pt![1, -1, 2]), rd!([1, -1, 2] .. [11, 9, 12]));
-        assert_eq!(d.shrink(1), rd!([1, 1, 1] .. [9, 9, 9]));
+        let d = rd!([0, 0, 0]..[10, 10, 10]);
+        assert_eq!(d.translate(pt![1, -1, 2]), rd!([1, -1, 2]..[11, 9, 12]));
+        assert_eq!(d.shrink(1), rd!([1, 1, 1]..[9, 9, 9]));
         // Interior faces: the planes we send to neighbours.
-        assert_eq!(d.shrink(1).interior_face(0, -1, 1), rd!([1, 1, 1] .. [2, 9, 9]));
-        assert_eq!(d.shrink(1).interior_face(0, 1, 1), rd!([8, 1, 1] .. [9, 9, 9]));
+        assert_eq!(
+            d.shrink(1).interior_face(0, -1, 1),
+            rd!([1, 1, 1]..[2, 9, 9])
+        );
+        assert_eq!(
+            d.shrink(1).interior_face(0, 1, 1),
+            rd!([8, 1, 1]..[9, 9, 9])
+        );
         // Exterior faces: the ghost slabs we receive into.
-        assert_eq!(d.shrink(1).exterior_face(2, 1, 1), rd!([1, 1, 9] .. [9, 9, 10]));
-        assert_eq!(d.shrink(1).exterior_face(2, -1, 1), rd!([1, 1, 0] .. [9, 9, 1]));
+        assert_eq!(
+            d.shrink(1).exterior_face(2, 1, 1),
+            rd!([1, 1, 9]..[9, 9, 10])
+        );
+        assert_eq!(
+            d.shrink(1).exterior_face(2, -1, 1),
+            rd!([1, 1, 0]..[9, 9, 1])
+        );
     }
 
     #[test]
     fn for_each_visits_lexicographically() {
-        let d = rd!([0, 0] .. [2, 3]);
+        let d = rd!([0, 0]..[2, 3]);
         let mut seen = vec![];
         d.for_each(|p| seen.push((p[0], p[1])));
-        assert_eq!(
-            seen,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(seen, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]
@@ -337,7 +346,7 @@ mod tests {
 
     #[test]
     fn rows_cover_domain() {
-        let d = rd!([0, 0, 0] .. [2, 3, 4]);
+        let d = rd!([0, 0, 0]..[2, 3, 4]);
         let rows = d.rows();
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().all(|&(_, len)| len == 4));
@@ -347,9 +356,9 @@ mod tests {
 
     #[test]
     fn permute_domain() {
-        let d = rd!([0, 1, 2] .. [4, 5, 6]);
+        let d = rd!([0, 1, 2]..[4, 5, 6]);
         let p = d.permute([2, 0, 1]);
-        assert_eq!(p, rd!([2, 0, 1] .. [6, 4, 5]));
+        assert_eq!(p, rd!([2, 0, 1]..[6, 4, 5]));
     }
 
     #[test]
@@ -360,7 +369,7 @@ mod tests {
 
     #[test]
     fn one_dimensional_domain() {
-        let d = rd!([5] .. [9]);
+        let d = rd!([5]..[9]);
         assert_eq!(d.size(), 4);
         let pts: Vec<i64> = d.points().map(|p| p[0]).collect();
         assert_eq!(pts, vec![5, 6, 7, 8]);

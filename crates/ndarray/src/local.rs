@@ -88,7 +88,8 @@ impl<'a, T: Pod, const N: usize> LocalGrid<'a, T, N> {
     pub fn set(&self, p: Point<N>, value: T) {
         let mut w = [0u8; 8];
         value.write_to(&mut w);
-        self.seg.store_u64(self.byte_offset(p), u64::from_le_bytes(w));
+        self.seg
+            .store_u64(self.byte_offset(p), u64::from_le_bytes(w));
     }
 }
 
@@ -135,7 +136,7 @@ mod tests {
     #[test]
     fn local_grid_agrees_with_generic_path() {
         spmd(cfg(), |ctx| {
-            let a = NdArray::<f64, 3>::new(ctx, rd!([-1, -1, -1] .. [5, 5, 5]));
+            let a = NdArray::<f64, 3>::new(ctx, rd!([-1, -1, -1]..[5, 5, 5]));
             a.fill_with(ctx, |p| (p[0] * 36 + p[1] * 6 + p[2]) as f64);
             let g = LocalGrid::new(ctx, &a);
             a.domain().for_each(|p| {
@@ -154,7 +155,7 @@ mod tests {
     #[should_panic(expected = "rank-local")]
     fn remote_array_rejected() {
         spmd(RuntimeConfig::new(2).segment_bytes(1 << 16), |ctx| {
-            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0] .. [2, 2]));
+            let a = NdArray::<f64, 2>::new(ctx, rd!([0, 0]..[2, 2]));
             let dirs: Vec<NdArray<f64, 2>> = ctx.allgatherv(&[a]);
             let other = dirs[1 - ctx.rank()];
             let _ = LocalGrid::new(ctx, &other);

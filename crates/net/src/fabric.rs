@@ -13,8 +13,9 @@
 use crate::segment::Segment;
 use crate::stats::{CommCounts, CommStats};
 use crate::Rank;
-use bytes::Bytes;
-use crossbeam::queue::SegQueue;
+use rupcxx_trace::{EventKind, RankTrace, TraceConfig};
+use rupcxx_util::sync::SegQueue;
+use rupcxx_util::Bytes;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -90,14 +91,17 @@ pub struct Endpoint {
     inbox: SegQueue<AmMessage>,
     /// Traffic counters for operations initiated by this rank.
     pub stats: CommStats,
+    /// Structured tracing + metrics for this rank (off by default).
+    pub trace: RankTrace,
 }
 
 impl Endpoint {
-    fn new(segment_bytes: usize) -> Self {
+    fn new(segment_bytes: usize, trace: &TraceConfig) -> Self {
         Endpoint {
             segment: Segment::new(segment_bytes),
             inbox: SegQueue::new(),
             stats: CommStats::default(),
+            trace: RankTrace::new(trace),
         }
     }
 
@@ -152,9 +156,9 @@ impl SimNet {
     #[inline]
     fn charge(&self, bytes: usize) {
         let mut ns = self.latency_ns;
-        if self.bytes_per_us > 0 {
-            ns += (bytes as u64 * 1000) / self.bytes_per_us;
-        }
+        ns += (bytes as u64 * 1000)
+            .checked_div(self.bytes_per_us)
+            .unwrap_or(0);
         if ns == 0 {
             return;
         }
@@ -167,7 +171,7 @@ impl SimNet {
 }
 
 /// Fabric construction parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FabricConfig {
     /// Number of ranks (endpoints).
     pub ranks: usize,
@@ -175,6 +179,8 @@ pub struct FabricConfig {
     pub segment_bytes: usize,
     /// Optional synthetic wire timing for remote operations.
     pub simnet: Option<SimNet>,
+    /// Tracing/metrics configuration applied to every endpoint.
+    pub trace: TraceConfig,
 }
 
 impl Default for FabricConfig {
@@ -183,6 +189,7 @@ impl Default for FabricConfig {
             ranks: 4,
             segment_bytes: 16 << 20,
             simnet: None,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -198,7 +205,7 @@ impl Fabric {
     pub fn new(config: FabricConfig) -> Arc<Self> {
         assert!(config.ranks > 0, "fabric needs at least one rank");
         let endpoints = (0..config.ranks)
-            .map(|_| Endpoint::new(config.segment_bytes))
+            .map(|_| Endpoint::new(config.segment_bytes, &config.trace))
             .collect();
         Arc::new(Fabric {
             endpoints,
@@ -227,6 +234,24 @@ impl Fabric {
         }
     }
 
+    /// Start a trace span on the initiator's clock (0 when tracing is off).
+    #[inline]
+    fn trace_start(&self, initiator: Rank) -> u64 {
+        self.endpoints[initiator].trace.start()
+    }
+
+    /// Close an RMA span. Only *remote* operations are recorded, matching
+    /// the way `CommStats` counts `puts`/`gets` — so per-kind trace event
+    /// counts line up with the counters for the same run.
+    #[inline]
+    fn trace_rma(&self, kind: EventKind, initiator: Rank, target: Rank, bytes: usize, start: u64) {
+        if initiator != target {
+            self.endpoints[initiator]
+                .trace
+                .span(kind, target as i32, bytes as u64, start);
+        }
+    }
+
     #[inline]
     fn count_put(&self, initiator: Rank, target: Rank, bytes: usize) {
         let stats = &self.endpoints[initiator].stats;
@@ -251,51 +276,74 @@ impl Fabric {
 
     /// One-sided put: write `data` at `dst`.
     pub fn put(&self, initiator: Rank, dst: GlobalAddr, data: &[u8]) {
+        let t0 = self.trace_start(initiator);
         self.count_put(initiator, dst.rank, data.len());
         self.wire(initiator, dst.rank, data.len());
-        self.endpoints[dst.rank].segment.write_bytes(dst.offset, data);
+        self.endpoints[dst.rank]
+            .segment
+            .write_bytes(dst.offset, data);
+        self.trace_rma(EventKind::Put, initiator, dst.rank, data.len(), t0);
     }
 
     /// One-sided get: read `buf.len()` bytes from `src`.
     pub fn get(&self, initiator: Rank, src: GlobalAddr, buf: &mut [u8]) {
+        let t0 = self.trace_start(initiator);
         self.count_get(initiator, src.rank, buf.len());
         self.wire(initiator, src.rank, buf.len());
         self.endpoints[src.rank].segment.read_bytes(src.offset, buf);
+        self.trace_rma(EventKind::Get, initiator, src.rank, buf.len(), t0);
     }
 
     /// Aligned 8-byte put (fast path used by shared scalars/arrays).
     #[inline]
     pub fn put_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
+        let t0 = self.trace_start(initiator);
         self.count_put(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
-        self.endpoints[dst.rank].segment.store_u64(dst.offset, value);
+        self.endpoints[dst.rank]
+            .segment
+            .store_u64(dst.offset, value);
+        self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
     }
 
     /// Aligned 8-byte get (fast path).
     #[inline]
     pub fn get_u64(&self, initiator: Rank, src: GlobalAddr) -> u64 {
+        let t0 = self.trace_start(initiator);
         self.count_get(initiator, src.rank, 8);
         self.wire(initiator, src.rank, 8);
-        self.endpoints[src.rank].segment.load_u64(src.offset)
+        let v = self.endpoints[src.rank].segment.load_u64(src.offset);
+        self.trace_rma(EventKind::Get, initiator, src.rank, 8, t0);
+        v
     }
 
     /// Remote atomic xor on an aligned u64; returns the previous value.
     #[inline]
     pub fn xor_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
+        let t0 = self.trace_start(initiator);
         self.count_put(initiator, dst.rank, 8);
         // A remote atomic is a full round trip on real hardware.
         self.wire(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
-        self.endpoints[dst.rank].segment.fetch_xor_u64(dst.offset, value)
+        let v = self.endpoints[dst.rank]
+            .segment
+            .fetch_xor_u64(dst.offset, value);
+        self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
+        v
     }
 
     /// Remote atomic add on an aligned u64; returns the previous value.
     #[inline]
     pub fn add_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
+        let t0 = self.trace_start(initiator);
         self.count_put(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
-        self.endpoints[dst.rank].segment.fetch_add_u64(dst.offset, value)
+        let v = self.endpoints[dst.rank]
+            .segment
+            .fetch_add_u64(dst.offset, value);
+        self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
+        v
     }
 
     /// Remote CAS on an aligned u64.
@@ -307,10 +355,15 @@ impl Fabric {
         current: u64,
         new: u64,
     ) -> Result<u64, u64> {
+        let t0 = self.trace_start(initiator);
         self.count_put(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
-        self.endpoints[dst.rank].segment.cas_u64(dst.offset, current, new)
+        let r = self.endpoints[dst.rank]
+            .segment
+            .cas_u64(dst.offset, current, new);
+        self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
+        r
     }
 
     /// Strided (vector) put: write `nblocks` blocks of `block` bytes from
@@ -327,13 +380,22 @@ impl Fabric {
         block: usize,
         nblocks: usize,
     ) {
-        assert_eq!(src.len(), block * nblocks, "put_strided: source size mismatch");
+        assert_eq!(
+            src.len(),
+            block * nblocks,
+            "put_strided: source size mismatch"
+        );
+        let t0 = self.trace_start(initiator);
         self.count_put(initiator, dst.rank, src.len());
         self.wire(initiator, dst.rank, src.len());
         let seg = &self.endpoints[dst.rank].segment;
         for b in 0..nblocks {
-            seg.write_bytes(dst.offset + b * dst_stride, &src[b * block..(b + 1) * block]);
+            seg.write_bytes(
+                dst.offset + b * dst_stride,
+                &src[b * block..(b + 1) * block],
+            );
         }
+        self.trace_rma(EventKind::Put, initiator, dst.rank, src.len(), t0);
     }
 
     /// Strided (vector) get: the mirror of [`Fabric::put_strided`].
@@ -346,13 +408,22 @@ impl Fabric {
         block: usize,
         nblocks: usize,
     ) {
-        assert_eq!(buf.len(), block * nblocks, "get_strided: buffer size mismatch");
+        assert_eq!(
+            buf.len(),
+            block * nblocks,
+            "get_strided: buffer size mismatch"
+        );
+        let t0 = self.trace_start(initiator);
         self.count_get(initiator, src.rank, buf.len());
         self.wire(initiator, src.rank, buf.len());
         let seg = &self.endpoints[src.rank].segment;
         for b in 0..nblocks {
-            seg.read_bytes(src.offset + b * src_stride, &mut buf[b * block..(b + 1) * block]);
+            seg.read_bytes(
+                src.offset + b * src_stride,
+                &mut buf[b * block..(b + 1) * block],
+            );
         }
+        self.trace_rma(EventKind::Get, initiator, src.rank, buf.len(), t0);
     }
 
     /// Send an active message to `dst`. FIFO order is preserved per
@@ -366,8 +437,13 @@ impl Fabric {
         let stats = &self.endpoints[initiator].stats;
         stats.ams_sent.fetch_add(1, Ordering::Relaxed);
         if let AmPayload::Handler { args, .. } = &payload {
-            stats.am_bytes.fetch_add(args.len() as u64, Ordering::Relaxed);
+            stats
+                .am_bytes
+                .fetch_add(args.len() as u64, Ordering::Relaxed);
         }
+        self.endpoints[initiator]
+            .trace
+            .instant(EventKind::AmSend, dst as i32, am_bytes as u64);
         self.endpoints[dst].inbox.push(AmMessage {
             src: initiator,
             payload,
@@ -392,7 +468,9 @@ impl Fabric {
 
 impl std::fmt::Debug for Fabric {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Fabric").field("ranks", &self.ranks()).finish()
+        f.debug_struct("Fabric")
+            .field("ranks", &self.ranks())
+            .finish()
     }
 }
 
@@ -405,6 +483,7 @@ mod tests {
             ranks,
             segment_bytes: 4096,
             simnet: None,
+            trace: TraceConfig::off(),
         })
     }
 
@@ -515,6 +594,7 @@ mod tests {
                 latency_ns: 200_000, // 200 µs — far above host noise
                 bytes_per_us: 0,
             }),
+            trace: TraceConfig::off(),
         });
         // Remote word put takes at least the injected latency.
         let t = std::time::Instant::now();
@@ -539,6 +619,7 @@ mod tests {
                 latency_ns: 0,
                 bytes_per_us: 100, // 100 MB/s: 512 KiB ≈ 5.2 ms
             }),
+            trace: TraceConfig::off(),
         });
         let data = vec![0u8; 512 << 10];
         let t = std::time::Instant::now();

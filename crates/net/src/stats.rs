@@ -26,10 +26,13 @@ pub struct CommStats {
     pub ams_handled: AtomicU64,
     /// Operations that resolved to local memory (no communication).
     pub local_ops: AtomicU64,
+    /// Completed [`CommStats::reset`] calls (see that method's caveats).
+    epoch: AtomicU64,
 }
 
 impl CommStats {
-    /// Snapshot the counters.
+    /// Snapshot the counters (including the reset epoch, so the snapshot
+    /// can later serve as a [`CommStats::delta_since`] baseline).
     pub fn snapshot(&self) -> CommCounts {
         CommCounts {
             puts: self.puts.load(Ordering::Relaxed),
@@ -40,10 +43,20 @@ impl CommStats {
             am_bytes: self.am_bytes.load(Ordering::Relaxed),
             ams_handled: self.ams_handled.load(Ordering::Relaxed),
             local_ops: self.local_ops.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Acquire),
         }
     }
 
     /// Reset all counters to zero.
+    ///
+    /// **Semantics:** the counters are cleared one at a time with relaxed
+    /// stores — the reset is *not* atomic as a whole. An operation racing
+    /// with `reset()` may land some of its increments before the clear and
+    /// some after, so counts taken around a concurrent reset can be off by
+    /// the in-flight operations. Call it only at quiescent points (e.g.
+    /// between benchmark phases, after a barrier). To measure a phase
+    /// *without* resetting — immune to this race by construction — take a
+    /// baseline [`CommStats::snapshot`] and use [`CommStats::delta_since`].
     pub fn reset(&self) {
         self.puts.store(0, Ordering::Relaxed);
         self.put_bytes.store(0, Ordering::Relaxed);
@@ -53,11 +66,38 @@ impl CommStats {
         self.am_bytes.store(0, Ordering::Relaxed);
         self.ams_handled.store(0, Ordering::Relaxed);
         self.local_ops.store(0, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of completed [`CommStats::reset`] calls. A phase measurement
+    /// is only valid if the epoch is unchanged between its two snapshots.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Counters accumulated since `baseline` (an earlier
+    /// [`CommStats::snapshot`] of this endpoint): the epoch-based way to
+    /// measure a phase without resetting.
+    ///
+    /// # Panics
+    /// Panics if the counters were `reset()` after `baseline` was taken
+    /// (the subtraction would underflow and the delta would be garbage).
+    pub fn delta_since(&self, baseline: &CommCounts) -> CommCounts {
+        assert_eq!(
+            self.epoch(),
+            baseline.epoch,
+            "CommStats::delta_since: counters were reset after the baseline snapshot"
+        );
+        self.snapshot().since(baseline)
     }
 }
 
 /// A point-in-time copy of [`CommStats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Equality compares the traffic counters only — the bookkeeping `epoch`
+/// is excluded, so snapshots of identical traffic compare equal across
+/// resets.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CommCounts {
     /// Remote puts initiated.
     pub puts: u64,
@@ -75,7 +115,25 @@ pub struct CommCounts {
     pub ams_handled: u64,
     /// Operations resolved locally.
     pub local_ops: u64,
+    /// Reset epoch of the endpoint at snapshot time (see
+    /// [`CommStats::epoch`]). Not part of equality.
+    pub epoch: u64,
 }
+
+impl PartialEq for CommCounts {
+    fn eq(&self, other: &Self) -> bool {
+        self.puts == other.puts
+            && self.put_bytes == other.put_bytes
+            && self.gets == other.gets
+            && self.get_bytes == other.get_bytes
+            && self.ams_sent == other.ams_sent
+            && self.am_bytes == other.am_bytes
+            && self.ams_handled == other.ams_handled
+            && self.local_ops == other.local_ops
+    }
+}
+
+impl Eq for CommCounts {}
 
 impl CommCounts {
     /// Total remote operations initiated (puts + gets + AMs).
@@ -89,8 +147,11 @@ impl CommCounts {
     }
 
     /// Element-wise difference (`self - earlier`), for measuring a phase.
+    /// Both snapshots must come from the same epoch (no intervening
+    /// `reset()`), otherwise the subtraction underflows.
     pub fn since(&self, earlier: &CommCounts) -> CommCounts {
         CommCounts {
+            epoch: self.epoch,
             puts: self.puts - earlier.puts,
             put_bytes: self.put_bytes - earlier.put_bytes,
             gets: self.gets - earlier.gets,
@@ -102,9 +163,11 @@ impl CommCounts {
         }
     }
 
-    /// Element-wise sum, for aggregating over ranks.
+    /// Element-wise sum, for aggregating over ranks (the result's `epoch`
+    /// is the max of the inputs' — bookkeeping only).
     pub fn merged(&self, other: &CommCounts) -> CommCounts {
         CommCounts {
+            epoch: self.epoch.max(other.epoch),
             puts: self.puts + other.puts,
             put_bytes: self.put_bytes + other.put_bytes,
             gets: self.gets + other.gets,
@@ -131,6 +194,33 @@ mod tests {
         assert_eq!(c.put_bytes, 24);
         s.reset();
         assert_eq!(s.snapshot(), CommCounts::default());
+    }
+
+    #[test]
+    fn epoch_and_delta_since() {
+        let s = CommStats::default();
+        s.puts.fetch_add(2, Ordering::Relaxed);
+        let base = s.snapshot();
+        s.puts.fetch_add(5, Ordering::Relaxed);
+        s.gets.fetch_add(1, Ordering::Relaxed);
+        let d = s.delta_since(&base);
+        assert_eq!(d.puts, 5);
+        assert_eq!(d.gets, 1);
+        assert_eq!(s.epoch(), 0);
+        s.reset();
+        assert_eq!(s.epoch(), 1);
+        // Snapshots of identical traffic compare equal across resets.
+        assert_eq!(s.snapshot(), CommCounts::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "reset after the baseline")]
+    fn delta_since_detects_reset() {
+        let s = CommStats::default();
+        s.puts.fetch_add(2, Ordering::Relaxed);
+        let base = s.snapshot();
+        s.reset();
+        let _ = s.delta_since(&base);
     }
 
     #[test]

@@ -47,8 +47,7 @@ pub fn gups_model(
         // get (round trip) + xor + put (injected, acknowledged at fence):
         // 4 one-way latencies' worth of wire plus 4 CPU message overheads,
         // plus transaction-level congestion growing with route length.
-        let t_net =
-            4.0 * (machine.rma.l + machine.rma.o) + hops * machine.congested_hop;
+        let t_net = 4.0 * (machine.rma.l + machine.rma.o) + hops * machine.congested_hop;
         let t = o_sw_seconds + f_remote * t_net;
         lat.push(SeriesPoint {
             cores: c,
@@ -80,8 +79,7 @@ pub fn stencil_model(
         .map(|&c| {
             let t_comp = pts_per_rank * sw_seconds_per_point;
             let l_eff = machine.remote_latency(c);
-            let t_comm = 6.0
-                * (face_bytes * machine.rma.cap_g + l_eff + 2.0 * machine.rma.o);
+            let t_comm = 6.0 * (face_bytes * machine.rma.cap_g + l_eff + 2.0 * machine.rma.o);
             let t = t_comp + t_comm;
             SeriesPoint {
                 cores: c,

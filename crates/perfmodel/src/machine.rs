@@ -100,10 +100,10 @@ pub fn edison() -> Machine {
         name: "Edison (Cray XC30, Aries dragonfly)",
         cores_per_node: 24,
         rma: LogGP {
-            l: 1.3e-6,         // small RDMA put end-to-end
-            o: 0.25e-6,        // initiator software overhead
-            g: 0.1e-6,         // ~10 M msg/s injection per core
-            cap_g: 1.0 / 8e9,  // ~8 GB/s per-node link bandwidth
+            l: 1.3e-6,        // small RDMA put end-to-end
+            o: 0.25e-6,       // initiator software overhead
+            g: 0.1e-6,        // ~10 M msg/s injection per core
+            cap_g: 1.0 / 8e9, // ~8 GB/s per-node link bandwidth
         },
         two_sided_extra_o: 0.6e-6, // matching + eager copy of MPI
         hop_latency: 0.1e-6,
@@ -121,13 +121,13 @@ pub fn vesta() -> Machine {
         cores_per_node: 16,
         rma: LogGP {
             l: 1.2e-6,
-            o: 0.3e-6,          // per-message CPU overhead on the A2
+            o: 0.3e-6, // per-message CPU overhead on the A2
             g: 0.3e-6,
             cap_g: 1.0 / 1.8e9, // 2 GB/s per link, ~1.8 effective
         },
         two_sided_extra_o: 1.2e-6,
-        hop_latency: 0.045e-6, // ~45 ns per torus hop, uncongested
-        congested_hop: 1.1e-6, // random fine-grained all-to-all queueing
+        hop_latency: 0.045e-6,  // ~45 ns per torus hop, uncongested
+        congested_hop: 1.1e-6,  // random fine-grained all-to-all queueing
         pgas_access_sw: 2.0e-6, // slow in-order A2: heavy software stack
         net: Interconnect::Torus(Torus::bgq()),
         flops_per_core: 3.2e9, // 1.6 GHz A2 dual-issue DP

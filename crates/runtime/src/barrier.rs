@@ -8,6 +8,7 @@
 
 use crate::collectives::{collect, deposit, WORLD_DOMAIN};
 use crate::ctx::Ctx;
+use rupcxx_trace::EventKind;
 
 impl Ctx {
     /// Synchronize all ranks — no rank leaves before every rank arrived.
@@ -16,6 +17,7 @@ impl Ctx {
         if n == 1 {
             return;
         }
+        let t0 = self.trace().start();
         let seq = self.shared().next_coll_seq(self.rank());
         let mut round = 0u64;
         let mut dist = 1usize;
@@ -27,6 +29,7 @@ impl Ctx {
             round += 1;
             dist <<= 1;
         }
+        self.trace().span(EventKind::Barrier, -1, 0, t0);
     }
 
     /// Memory fence: orders this rank's prior global-memory operations

@@ -1,9 +1,10 @@
 //! Runtime configuration.
 
 use rupcxx_net::SimNet;
+use rupcxx_trace::TraceConfig;
 
 /// Parameters for an SPMD job.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Number of SPMD ranks.
     pub ranks: usize,
@@ -18,6 +19,10 @@ pub struct RuntimeConfig {
     /// Optional synthetic wire timing injected into remote fabric
     /// operations (measured latency-bound behaviour on the host).
     pub simnet: Option<SimNet>,
+    /// Tracing/metrics configuration. [`RuntimeConfig::new`] seeds this
+    /// from the `RUPCXX_TRACE` environment variable, so harnesses get
+    /// tracing for free; override with [`RuntimeConfig::with_trace`].
+    pub trace: TraceConfig,
 }
 
 impl RuntimeConfig {
@@ -28,7 +33,14 @@ impl RuntimeConfig {
             segment_bytes: 16 << 20,
             progress_thread: false,
             simnet: None,
+            trace: TraceConfig::from_env(),
         }
+    }
+
+    /// Replace the tracing configuration (overriding `RUPCXX_TRACE`).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Inject synthetic wire timing into every remote operation.
@@ -73,7 +85,9 @@ mod tests {
         assert_eq!(c.ranks, 8);
         assert_eq!(c.segment_bytes, 2 << 20);
         assert!(!c.progress_thread);
-        let d = RuntimeConfig::new(2).segment_bytes(4096).with_progress_thread();
+        let d = RuntimeConfig::new(2)
+            .segment_bytes(4096)
+            .with_progress_thread();
         assert_eq!(d.segment_bytes, 4096);
         assert!(d.progress_thread);
     }

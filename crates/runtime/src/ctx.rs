@@ -2,8 +2,9 @@
 
 use crate::alloc::OutOfSegmentMemory;
 use crate::shared::Shared;
-use bytes::Bytes;
-use rupcxx_net::{AmPayload, Fabric, GlobalAddr, Rank};
+use rupcxx_net::{AmMessage, AmPayload, Fabric, GlobalAddr, Rank};
+use rupcxx_trace::{EventKind, RankTrace};
+use rupcxx_util::Bytes;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -49,20 +50,62 @@ impl Ctx {
         &self.shared
     }
 
+    /// This rank's trace/metrics state (disabled unless the job was
+    /// launched with tracing configured — see `rupcxx-trace`).
+    #[inline]
+    pub fn trace(&self) -> &RankTrace {
+        &self.shared.fabric.endpoint(self.rank).trace
+    }
+
     /// Drive the progress engine: drain this rank's active-message inbox,
     /// executing each incoming task/handler. Returns the number of messages
     /// processed. This is the paper's `advance()` (§IV).
     pub fn advance(&self) -> usize {
-        let mut n = 0;
-        while let Some(msg) = self.shared.fabric.endpoint(self.rank).try_recv() {
-            match msg.payload {
-                AmPayload::Task(task) => task(),
-                AmPayload::Handler { id, args } => {
-                    (self.shared.handlers.get(id).clone())(self, msg.src, args)
-                }
+        let ep = self.shared.fabric.endpoint(self.rank);
+        if !ep.trace.enabled() {
+            // Untraced fast path: identical to the pre-trace engine.
+            let mut n = 0;
+            while let Some(msg) = ep.try_recv() {
+                self.execute(msg);
+                n += 1;
             }
+            return n;
+        }
+        self.advance_traced()
+    }
+
+    /// Run one incoming active message.
+    #[inline]
+    fn execute(&self, msg: AmMessage) {
+        match msg.payload {
+            AmPayload::Task(task) => task(),
+            AmPayload::Handler { id, args } => {
+                (self.shared.handlers.get(id).clone())(self, msg.src, args)
+            }
+        }
+    }
+
+    /// The traced progress engine: samples the inbox depth, wraps each
+    /// handler in an `am_handle` span and the whole working drain in an
+    /// `advance` span (`bytes` = messages processed).
+    #[cold]
+    fn advance_traced(&self) -> usize {
+        let ep = self.shared.fabric.endpoint(self.rank);
+        let trace = &ep.trace;
+        let depth = ep.pending() as u64;
+        let t0 = trace.start();
+        let mut n = 0usize;
+        while let Some(msg) = ep.try_recv() {
+            let src = msg.src;
+            let h0 = trace.start();
+            self.execute(msg);
+            trace.span(EventKind::AmHandle, src as i32, 0, h0);
             n += 1;
         }
+        if n > 0 {
+            trace.span(EventKind::Advance, -1, n as u64, t0);
+        }
+        trace.poll(depth, n as u64);
         n
     }
 
@@ -90,6 +133,7 @@ impl Ctx {
     /// Send a task to run on rank `dst` the next time it drives progress.
     /// The low-level building block under `rupcxx::async_on`.
     pub fn send_task(&self, dst: Rank, task: impl FnOnce() + Send + 'static) {
+        self.trace().instant(EventKind::TaskSpawn, dst as i32, 0);
         self.shared
             .fabric
             .send_am(self.rank, dst, AmPayload::Task(Box::new(task)));
@@ -97,7 +141,10 @@ impl Ctx {
 
     /// Send a registered-handler active message with packed `args`.
     pub fn send_handler(&self, dst: Rank, id: crate::HandlerId, args: Bytes) {
-        debug_assert!((id as usize) < self.shared.handlers.len(), "unknown handler {id}");
+        debug_assert!(
+            (id as usize) < self.shared.handlers.len(),
+            "unknown handler {id}"
+        );
         self.shared
             .fabric
             .send_am(self.rank, dst, AmPayload::Handler { id, args });
@@ -184,7 +231,7 @@ mod tests {
     #[test]
     fn handler_messages_dispatch() {
         let mut reg = HandlerRegistry::new();
-        type Seen = parking_lot::Mutex<Vec<(Rank, Vec<u8>)>>;
+        type Seen = rupcxx_util::sync::Mutex<Vec<(Rank, Vec<u8>)>>;
         let seen: Arc<Seen> = Arc::default();
         let s2 = seen.clone();
         reg.register(move |ctx, src, args| {

@@ -12,7 +12,8 @@
 //! the paper.
 
 use crate::ctx::Ctx;
-use parking_lot::Mutex;
+use rupcxx_trace::EventKind;
+use rupcxx_util::sync::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
@@ -94,14 +95,19 @@ impl Event {
     /// Block (driving progress) until the event fires — `event.wait()` in
     /// the paper.
     pub fn wait(&self, ctx: &Ctx) {
+        let t0 = ctx.trace().start();
         ctx.wait_until(|| self.is_ready());
+        ctx.trace().span(EventKind::EventWait, -1, 0, t0);
     }
 }
 
 impl std::fmt::Debug for Event {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Event")
-            .field("outstanding", &self.core.outstanding.load(Ordering::Relaxed))
+            .field(
+                "outstanding",
+                &self.core.outstanding.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -134,10 +140,7 @@ impl<T: Send + 'static> RtFuture<T> {
             slot: Mutex::new(None),
             done: AtomicBool::new(false),
         });
-        (
-            RtFuture { core: core.clone() },
-            FutureSetter { core },
-        )
+        (RtFuture { core: core.clone() }, FutureSetter { core })
     }
 
     /// A future already resolved with `value`.
@@ -165,7 +168,9 @@ impl<T: Send + 'static> RtFuture<T> {
     /// Block (driving progress) until the value arrives, then take it —
     /// the paper's `future.get()`. Panics if the value was already taken.
     pub fn get(&self, ctx: &Ctx) -> T {
+        let t0 = ctx.trace().start();
         ctx.wait_until(|| self.is_ready());
+        ctx.trace().span(EventKind::EventWait, -1, 0, t0);
         self.core
             .slot
             .lock()

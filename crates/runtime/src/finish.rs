@@ -18,6 +18,7 @@
 use crate::ctx::Ctx;
 use crate::event::{FutureSetter, RtFuture};
 use rupcxx_net::Rank;
+use rupcxx_trace::EventKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -91,8 +92,10 @@ impl<'a> FinishScope<'a> {
     }
 
     fn wait(&self) {
+        let t0 = self.ctx.trace().start();
         self.ctx
             .wait_until(|| self.outstanding.load(Ordering::Acquire) == 0);
+        self.ctx.trace().span(EventKind::FinishWait, -1, 0, t0);
     }
 }
 

@@ -7,6 +7,7 @@
 
 use crate::ctx::Ctx;
 use rupcxx_net::GlobalAddr;
+use rupcxx_trace::EventKind;
 
 const UNLOCKED: u64 = 0;
 
@@ -48,7 +49,10 @@ impl GlobalLock {
 
     /// Acquire, driving progress while waiting.
     pub fn acquire(&self, ctx: &Ctx) {
+        let t0 = ctx.trace().start();
         ctx.wait_until(|| self.try_acquire(ctx));
+        ctx.trace()
+            .span(EventKind::LockAcquire, self.addr.rank as i32, 0, t0);
     }
 
     /// Release. Panics if this rank does not hold the lock.

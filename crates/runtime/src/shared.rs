@@ -1,9 +1,10 @@
 //! Process-wide state shared by all rank threads of one SPMD job.
 
 use crate::alloc::SegAllocator;
-use bytes::Bytes;
-use parking_lot::Mutex;
 use rupcxx_net::{Fabric, FabricConfig, Rank, SimNet};
+use rupcxx_trace::TraceConfig;
+use rupcxx_util::sync::Mutex;
+use rupcxx_util::Bytes;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -14,6 +15,10 @@ pub type HandlerId = u16;
 /// A registered active-message handler. Receives the executing rank's
 /// context, the sending rank, and the packed argument bytes.
 pub type HandlerFn = Arc<dyn Fn(&crate::Ctx, Rank, Bytes) + Send + Sync>;
+
+/// A pending-reply continuation: consumes the packed return bytes of a
+/// registered-handler RPC, resolving the caller's future.
+pub type ReplyCont = Box<dyn FnOnce(Bytes) + Send>;
 
 /// Table of AM handlers, identical on every rank (the paper assumes
 /// "function entry points on all processes are either all identical or have
@@ -112,7 +117,7 @@ pub struct Shared {
     /// Per-rank pending reply continuations for registered-handler RPC:
     /// a reply message carries a token; the continuation stored under it
     /// consumes the packed return bytes (resolving a future).
-    pub pending_replies: Vec<Mutex<HashMap<u64, Box<dyn FnOnce(Bytes) + Send>>>>,
+    pub pending_replies: Vec<Mutex<HashMap<u64, ReplyCont>>>,
     /// Per-rank token counters for [`Shared::pending_replies`].
     pub reply_tokens: Vec<AtomicU64>,
     /// Ranks that have finished the user's SPMD closure.
@@ -125,17 +130,37 @@ impl Shared {
         Self::new_with(ranks, segment_bytes, None, handlers)
     }
 
-    /// Like [`Shared::new`], with an optional synthetic wire.
+    /// Like [`Shared::new`], with an optional synthetic wire. Tracing is
+    /// taken from the `RUPCXX_TRACE` environment (see `rupcxx-trace`).
     pub fn new_with(
         ranks: usize,
         segment_bytes: usize,
         simnet: Option<SimNet>,
         handlers: HandlerRegistry,
     ) -> Arc<Self> {
+        Self::new_traced(
+            ranks,
+            segment_bytes,
+            simnet,
+            handlers,
+            TraceConfig::from_env(),
+        )
+    }
+
+    /// Like [`Shared::new_with`], with an explicit trace configuration
+    /// (the SPMD launcher passes `RuntimeConfig::trace` through here).
+    pub fn new_traced(
+        ranks: usize,
+        segment_bytes: usize,
+        simnet: Option<SimNet>,
+        handlers: HandlerRegistry,
+        trace: TraceConfig,
+    ) -> Arc<Self> {
         let fabric = Fabric::new(FabricConfig {
             ranks,
             segment_bytes,
             simnet,
+            trace,
         });
         Arc::new(Shared {
             fabric,

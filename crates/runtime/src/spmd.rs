@@ -9,7 +9,10 @@
 use crate::config::RuntimeConfig;
 use crate::ctx::Ctx;
 use crate::shared::{HandlerRegistry, Shared};
+use rupcxx_trace::{MetricsSnapshot, TraceEvent};
+use std::fmt::Write as _;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Launch an SPMD job: run `body` on `config.ranks` ranks, returning each
 /// rank's result in rank order.
@@ -38,11 +41,17 @@ where
     F: Fn(&Ctx) -> R + Send + Sync,
 {
     assert!(config.ranks > 0, "spmd needs at least one rank");
-    let shared = Shared::new_with(config.ranks, config.segment_bytes, config.simnet, handlers);
+    let shared = Shared::new_traced(
+        config.ranks,
+        config.segment_bytes,
+        config.simnet,
+        handlers,
+        config.trace.clone(),
+    );
     let body = &body;
     let progress_stop = std::sync::atomic::AtomicBool::new(false);
     let progress_stop = &progress_stop;
-    std::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         // Concurrent mode (paper §IV): one progress worker per rank keeps
         // serving incoming active messages even while the rank computes.
         if config.progress_thread {
@@ -95,7 +104,58 @@ where
             .collect();
         progress_stop.store(true, std::sync::atomic::Ordering::Release);
         results
-    })
+    });
+    export_trace(&config, &shared);
+    results
+}
+
+/// Chrome-trace files already written by this process (suffixes the path
+/// of every traced job after the first).
+static TRACE_JOBS: AtomicU64 = AtomicU64::new(0);
+
+/// Job-teardown trace export: print the per-rank metrics summary and, in
+/// events mode, write the Chrome `trace_event` JSON. All ranks have
+/// joined by now, so the rings and histograms are quiescent.
+fn export_trace(config: &RuntimeConfig, shared: &Shared) {
+    if !shared.fabric.endpoint(0).trace.enabled() {
+        return;
+    }
+    let ranks = shared.ranks();
+    let metrics: Vec<(usize, MetricsSnapshot)> = (0..ranks)
+        .map(|r| (r, shared.fabric.endpoint(r).trace.metrics.snapshot()))
+        .collect();
+    println!("\n== rupcxx trace summary ({ranks} ranks) ==");
+    print!("{}", rupcxx_trace::summary_table(&metrics).render());
+    if !shared.fabric.endpoint(0).trace.events_enabled() {
+        return;
+    }
+    let per_rank: Vec<(usize, Vec<TraceEvent>)> = (0..ranks)
+        .map(|r| (r, shared.fabric.endpoint(r).trace.events()))
+        .collect();
+    let total: usize = per_rank.iter().map(|(_, e)| e.len()).sum();
+    let (mut pushed, mut dropped) = (0u64, 0u64);
+    for r in 0..ranks {
+        if let Some(ring) = shared.fabric.endpoint(r).trace.ring() {
+            pushed += ring.pushed();
+            dropped += ring.dropped();
+        }
+    }
+    let n = TRACE_JOBS.fetch_add(1, Ordering::Relaxed);
+    let path = config.trace.numbered_path(n);
+    match rupcxx_trace::write_chrome_trace(&path, &per_rank) {
+        Ok(()) => {
+            let mut notes = String::new();
+            if pushed > total as u64 + dropped {
+                // The ring wrapped: older events were overwritten.
+                let _ = write!(notes, ", newest of {pushed} (raise RUPCXX_TRACE_BUF)");
+            }
+            if dropped > 0 {
+                let _ = write!(notes, ", {dropped} dropped");
+            }
+            println!("[trace written {path}: {total} events{notes}]");
+        }
+        Err(e) => eprintln!("(could not write trace {path}: {e})"),
+    }
 }
 
 #[cfg(test)]

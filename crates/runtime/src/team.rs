@@ -130,7 +130,13 @@ impl Team {
         let mut dist = 1usize;
         while dist < n {
             let dst = self.members[(self.my_index + dist) % n];
-            deposit(ctx, self.domain, dst, seq.wrapping_mul(1024) + round, Vec::new());
+            deposit(
+                ctx,
+                self.domain,
+                dst,
+                seq.wrapping_mul(1024) + round,
+                Vec::new(),
+            );
             let _ = collect(ctx, self.domain, seq.wrapping_mul(1024) + round, 1);
             round += 1;
             dist <<= 1;
@@ -234,7 +240,11 @@ impl Team {
     /// Spawn `task` on every member (the group-`place` form of the
     /// paper's `async`); completion is awaited by the surrounding
     /// `finish` scope.
-    pub fn spawn_all(&self, fs: &crate::FinishScope<'_>, task: impl Fn(&Ctx) + Clone + Send + 'static) {
+    pub fn spawn_all(
+        &self,
+        fs: &crate::FinishScope<'_>,
+        task: impl Fn(&Ctx) + Clone + Send + 'static,
+    ) {
         for &m in self.members.iter() {
             let t = task.clone();
             fs.spawn(m, move |c| t(c));
@@ -386,7 +396,10 @@ mod tests {
             solo.barrier(ctx);
             assert_eq!(solo.broadcast(ctx, 0, 7u64), 7);
             assert_eq!(solo.allreduce(ctx, 5u64, |a, b| a + b), 5);
-            assert_eq!(solo.allgatherv(ctx, &[ctx.rank() as u64]), vec![ctx.rank() as u64]);
+            assert_eq!(
+                solo.allgatherv(ctx, &[ctx.rank() as u64]),
+                vec![ctx.rank() as u64]
+            );
         });
     }
 }

@@ -1,0 +1,255 @@
+//! Log₂-bucketed histograms for latency and size distributions.
+//!
+//! 64 buckets: bucket `i` holds values whose bit width is `i`, i.e. value
+//! `v` lands in bucket `64 - v.leading_zeros()` (0 stays in bucket 0).
+//! Bucket `i > 0` therefore covers `[2^(i-1), 2^i)`; the last bucket is
+//! the overflow bucket for values `>= 2^62`. Recording is one relaxed
+//! atomic increment, cheap enough for per-operation paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets (one per possible bit width, plus the zero bucket).
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: its bit width (0 for 0).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_low(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (saturating for the overflow bucket).
+pub fn bucket_high(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// A live, thread-safe log₂ histogram.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Log2Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `p`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket containing the quantile rank, so the true value is within a
+    /// factor of 2 below the returned bound. The overflow bucket reports
+    /// the observed max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i >= BUCKETS - 1 {
+                    self.max
+                } else {
+                    bucket_high(i).min(self.max.max(1))
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median bound.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Element-wise merge (for aggregating ranks).
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (d, s) in out.buckets.iter_mut().zip(&other.buckets) {
+            *d += s;
+        }
+        out.count += other.count;
+        out.sum += other.sum;
+        out.max = out.max.max(other.max);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 is its own bucket; then each power of two opens a new bucket.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        for i in 1..63 {
+            let v = 1u64 << i;
+            assert_eq!(bucket_of(v), i + 1, "2^{i}");
+            assert_eq!(bucket_of(v - 1), i, "2^{i}-1");
+            assert!(bucket_low(bucket_of(v)) <= v && v < bucket_high(bucket_of(v)));
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(1u64 << 63), BUCKETS - 1);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+        let h = Log2Histogram::new();
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+        assert_eq!(s.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn count_sum_mean_max() {
+        let h = Log2Histogram::new();
+        for v in [1u64, 2, 3, 10] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 16);
+        assert_eq!(s.max, 10);
+        assert!((s.mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_bound_true_quantiles() {
+        let h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // True p50 is 500 → bucket [512,1024) upper bound, capped at max.
+        let p50 = s.p50();
+        assert!((500..=1000).contains(&p50), "p50 bound {p50}");
+        let p99 = s.p99();
+        assert!((990..=1024).contains(&p99), "p99 bound {p99}");
+        // p=0 lands in the first nonzero bucket [1,2); bound is 2.
+        assert_eq!(s.percentile(0.0), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = Log2Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merged_adds_counts() {
+        let a = Log2Histogram::new();
+        a.record(5);
+        let b = Log2Histogram::new();
+        b.record(100);
+        let m = a.snapshot().merged(&b.snapshot());
+        assert_eq!(m.count, 2);
+        assert_eq!(m.sum, 105);
+        assert_eq!(m.max, 100);
+    }
+}

@@ -7,12 +7,16 @@
 //! the reproduction harnesses, and a small intra-rank thread pool standing in
 //! for the paper's "OpenMP within a rank" usage.
 
+pub mod bytesbuf;
+pub mod prop;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod table;
 pub mod threadpool;
 pub mod timer;
 
+pub use bytesbuf::Bytes;
 pub use rng::{GupsRng, Mt19937_64, SplitMix64};
 pub use stats::Summary;
 pub use table::Table;

@@ -1,0 +1,386 @@
+//! A miniature property-testing layer with a proptest-compatible surface.
+//!
+//! The workspace's property tests were written against `proptest`; this
+//! module re-implements the small slice of its API they use (strategies
+//! over ranges/`any`/collections/tuples, `prop_map`, `Just`, `prop_oneof!`
+//! and the `proptest!` macro) on top of [`crate::rng::SplitMix64`], so the
+//! tests run identically in offline builds. Cases are deterministic: the
+//! generator is seeded from the test function's name.
+
+use crate::rng::SplitMix64;
+use std::ops::Range;
+
+/// Number of cases run per property by default.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// A value generator. The associated `Value` mirrors proptest's trait.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut SplitMix64) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SplitMix64) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SplitMix64) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! any_impl {
+    ($($t:ty => $e:expr),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SplitMix64) -> $t {
+                let f: fn(&mut SplitMix64) -> $t = $e;
+                f(rng)
+            }
+        }
+    )*};
+}
+
+/// Types with a full-domain generator, used by [`any`].
+pub trait Arbitrary {
+    /// Generate an arbitrary value of the type.
+    fn arbitrary(rng: &mut SplitMix64) -> Self;
+}
+
+any_impl!(
+    bool => |r| r.next_u64() & 1 == 1,
+    u8 => |r| r.next_u64() as u8,
+    u16 => |r| r.next_u64() as u16,
+    u32 => |r| r.next_u64() as u32,
+    u64 => |r| r.next_u64(),
+    usize => |r| r.next_u64() as usize,
+    i8 => |r| r.next_u64() as i8,
+    i16 => |r| r.next_u64() as i16,
+    i32 => |r| r.next_u64() as i32,
+    i64 => |r| r.next_u64() as i64,
+    f64 => |r| f64::from_bits(r.next_u64() & !(0x7ffu64 << 52) | ((r.next_u64() % 2047) << 52))
+);
+
+/// Strategy over the whole domain of `T` (proptest's `any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SplitMix64) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generate any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SplitMix64) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+/// A boxed value generator, as stored by [`OneOf`].
+pub type BoxedGen<T> = Box<dyn Fn(&mut SplitMix64) -> T>;
+
+/// Uniform choice among boxed generators (backs [`crate::prop_oneof!`]).
+pub struct OneOf<T> {
+    options: Vec<BoxedGen<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SplitMix64) -> T {
+        let i = rng.next_below(self.options.len() as u64) as usize;
+        (self.options[i])(rng)
+    }
+}
+
+/// Build a [`OneOf`] from generator closures.
+pub fn one_of<T>(options: Vec<BoxedGen<T>>) -> OneOf<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { options }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Generate vectors of `elem` values with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SplitMix64) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array`).
+pub mod array {
+    use super::*;
+
+    /// Strategy for `[T; 3]` from one element strategy.
+    pub struct Uniform3<S>(S);
+
+    /// Generate `[T; 3]` arrays of `elem` values.
+    pub fn uniform3<S: Strategy>(elem: S) -> Uniform3<S> {
+        Uniform3(elem)
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn generate(&self, rng: &mut SplitMix64) -> [S::Value; 3] {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+/// The names a `use ...::prelude::*` property test expects in scope.
+pub mod prelude {
+    pub use super::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic per-test seed: FNV-1a over the test function's name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Assert inside a property (panics with the case's message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::prop::one_of(vec![
+            $({
+                let s = $strat;
+                Box::new(move |r: &mut $crate::rng::SplitMix64|
+                    $crate::prop::Strategy::generate(&s, r))
+                    as Box<dyn Fn(&mut $crate::rng::SplitMix64) -> _>
+            }),+
+        ])
+    }};
+}
+
+/// Define property tests: each function runs its body over generated
+/// inputs. Mirrors proptest's macro for the forms used in this repo.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])* fn $name:ident $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::prop::ProptestConfig::default())
+            $(#[$meta])* fn $name $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::prop::ProptestConfig = $cfg;
+            let mut rng = $crate::rng::SplitMix64::new(
+                $crate::prop::seed_from_name(stringify!($name)));
+            for case in 0..cfg.cases {
+                let _ = case;
+                $(let $arg = $crate::prop::Strategy::generate(&$strat, &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(42)
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (-10i64..10).generate(&mut r);
+            assert!((-10..10).contains(&v));
+            let u = (1usize..4).generate(&mut r);
+            assert!((1..4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut r = rng();
+        let s = collection::vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn tuple_map_and_just() {
+        let mut r = rng();
+        let s = (0i64..5, 0i64..5).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!((0..9).contains(&s.generate(&mut r)));
+        }
+        assert_eq!(Just(7).generate(&mut r), 7);
+    }
+
+    #[test]
+    fn oneof_picks_each_arm() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn uniform3_generates_arrays() {
+        let mut r = rng();
+        let a = array::uniform3(-3i64..3).generate(&mut r);
+        assert!(a.iter().all(|v| (-3..3).contains(v)));
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_from_name("a"), seed_from_name("b"));
+    }
+
+    // The macro itself, exercised end to end.
+    crate::proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u64..100, v in collection::vec(any::<bool>(), 0..4)) {
+            crate::prop_assert!(x < 100);
+            crate::prop_assert!(v.len() < 4);
+        }
+    }
+}

@@ -158,7 +158,9 @@ impl Mt19937_64 {
 
 impl std::fmt::Debug for Mt19937_64 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mt19937_64").field("mti", &self.mti).finish()
+        f.debug_struct("Mt19937_64")
+            .field("mti", &self.mti)
+            .finish()
     }
 }
 

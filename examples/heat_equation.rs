@@ -35,8 +35,10 @@ fn main() {
             b.fill(ctx, 0.0);
             // Hot plate: global x = 0 plane fixed at 100 degrees.
             if cx == 0 {
-                a.restrict(interior.interior_face(0, -1, 1)).fill(ctx, 100.0);
-                b.restrict(interior.interior_face(0, -1, 1)).fill(ctx, 100.0);
+                a.restrict(interior.interior_face(0, -1, 1))
+                    .fill(ctx, 100.0);
+                b.restrict(interior.interior_face(0, -1, 1))
+                    .fill(ctx, 100.0);
             }
             let dirs: Vec<NdArray<f64, 3>> = ctx.allgatherv(&[a]);
             let dirs_b: Vec<NdArray<f64, 3>> = ctx.allgatherv(&[b]);

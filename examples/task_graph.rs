@@ -14,8 +14,8 @@
 //!
 //! Run with: `cargo run --example task_graph`
 
-use parking_lot::Mutex;
 use rupcxx::prelude::*;
+use rupcxx_util::sync::Mutex;
 use std::sync::Arc;
 
 fn main() {
@@ -30,7 +30,8 @@ fn main() {
         let task = |name: &'static str, log: &Arc<Mutex<Vec<String>>>| {
             let log = log.clone();
             move |tctx: &Ctx| {
-                log.lock().push(format!("{name} ran on rank {}", tctx.rank()));
+                log.lock()
+                    .push(format!("{name} ran on rank {}", tctx.rank()));
             }
         };
         // Places p1..p6 spread over the other ranks.
@@ -51,8 +52,17 @@ fn main() {
     }
     let pos = |n: &str| entries.iter().position(|e| e.starts_with(n)).unwrap();
     assert_eq!(entries.len(), 6);
-    assert!(pos("t3") > pos("t1") && pos("t3") > pos("t2"), "t3 after e1");
-    assert!(pos("t5") > pos("t3") && pos("t5") > pos("t4"), "t5 after e2");
-    assert!(pos("t6") > pos("t3") && pos("t6") > pos("t4"), "t6 after e2");
+    assert!(
+        pos("t3") > pos("t1") && pos("t3") > pos("t2"),
+        "t3 after e1"
+    );
+    assert!(
+        pos("t5") > pos("t3") && pos("t5") > pos("t4"),
+        "t5 after e2"
+    );
+    assert!(
+        pos("t6") > pos("t3") && pos("t6") > pos("t4"),
+        "t6 after e2"
+    );
     println!("task graph respected all Fig. 1 dependency edges");
 }

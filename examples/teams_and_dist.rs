@@ -15,41 +15,40 @@ use rupcxx_ndarray::{rd, DistArray};
 fn main() {
     let rows = 2usize;
     let cols = 3usize;
-    let out = spmd(
-        RuntimeConfig::new(rows * cols).segment_mib(4),
-        move |ctx| {
-            // A 12×12 global field, block-partitioned 3×2, one ghost layer.
-            let field = DistArray::<f64, 2>::new(ctx, rd!([0, 0] .. [12, 12]), [cols, rows], 1);
-            field.local().fill(ctx, 0.0);
-            field.fill_interior_with(ctx, |p| (p[0] + p[1]) as f64);
-            ctx.barrier();
-            field.exchange_ghosts(ctx);
-            ctx.barrier();
+    let out = spmd(RuntimeConfig::new(rows * cols).segment_mib(4), move |ctx| {
+        // A 12×12 global field, block-partitioned 3×2, one ghost layer.
+        let field = DistArray::<f64, 2>::new(ctx, rd!([0, 0]..[12, 12]), [cols, rows], 1);
+        field.local().fill(ctx, 0.0);
+        field.fill_interior_with(ctx, |p| (p[0] + p[1]) as f64);
+        ctx.barrier();
+        field.exchange_ghosts(ctx);
+        ctx.barrier();
 
-            // Row teams: ranks with the same grid row.
-            let world = ctx.team_world();
-            let my_row = (ctx.rank() / cols) as u64;
-            let row_team = world.split(ctx, my_row, ctx.rank() as u64);
-            assert_eq!(row_team.size(), cols);
+        // Row teams: ranks with the same grid row.
+        let world = ctx.team_world();
+        let my_row = (ctx.rank() / cols) as u64;
+        let row_team = world.split(ctx, my_row, ctx.rank() as u64);
+        assert_eq!(row_team.size(), cols);
 
-            // Each rank sums its interior; the row team reduces.
-            let mut local_sum = 0.0;
-            field.interior().for_each(|p| local_sum += field.local().get(ctx, p));
-            let row_sum = row_team.allreduce(ctx, local_sum, |a, b| a + b);
+        // Each rank sums its interior; the row team reduces.
+        let mut local_sum = 0.0;
+        field
+            .interior()
+            .for_each(|p| local_sum += field.local().get(ctx, p));
+        let row_sum = row_team.allreduce(ctx, local_sum, |a, b| a + b);
 
-            // Row leaders report to rank 0 through a world gather.
-            let report = if row_team.my_index() == 0 {
-                row_sum
-            } else {
-                -1.0
-            };
-            let all = ctx.gather(0, report);
-            ctx.barrier();
-            let global_via_rows = world.allreduce(ctx, local_sum, |a, b| a + b);
-            field.destroy(ctx);
-            (row_sum, all, global_via_rows)
-        },
-    );
+        // Row leaders report to rank 0 through a world gather.
+        let report = if row_team.my_index() == 0 {
+            row_sum
+        } else {
+            -1.0
+        };
+        let all = ctx.gather(0, report);
+        ctx.barrier();
+        let global_via_rows = world.allreduce(ctx, local_sum, |a, b| a + b);
+        field.destroy(ctx);
+        (row_sum, all, global_via_rows)
+    });
 
     let (.., global) = out[0];
     println!("global field sum: {global}");

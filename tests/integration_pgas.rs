@@ -25,7 +25,10 @@ fn shared_array_of_ndarray_descriptors_directory_pattern() {
         let theirs = dir.read(ctx, next);
         assert_eq!(theirs.owner(), next);
         let base = next as i64 * 4;
-        assert_eq!(theirs.get(ctx, pt![base + 2, 1, 3]), ((base + 2) * 100 + 13) as f64);
+        assert_eq!(
+            theirs.get(ctx, pt![base + 2, 1, 3]),
+            ((base + 2) * 100 + 13) as f64
+        );
         ctx.barrier();
         mine.destroy(ctx);
         dir.destroy(ctx);

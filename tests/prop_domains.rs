@@ -2,25 +2,20 @@
 //! (proptest): the invariants the multidimensional array library and the
 //! block-cyclic layout rely on.
 
-use proptest::prelude::*;
 use rupcxx_ndarray::{Point, RectDomain};
+use rupcxx_util::prop as proptest;
+use rupcxx_util::prop::prelude::*;
 
 fn small_domain() -> impl Strategy<Value = RectDomain<2>> {
-    (
-        -20i64..20,
-        -20i64..20,
-        0i64..15,
-        0i64..15,
-        1i64..4,
-        1i64..4,
-    )
-        .prop_map(|(lx, ly, ex, ey, sx, sy)| {
+    (-20i64..20, -20i64..20, 0i64..15, 0i64..15, 1i64..4, 1i64..4).prop_map(
+        |(lx, ly, ex, ey, sx, sy)| {
             RectDomain::strided(
                 Point::new([lx, ly]),
                 Point::new([lx + ex, ly + ey]),
                 Point::new([sx, sy]),
             )
-        })
+        },
+    )
 }
 
 proptest! {

@@ -1,9 +1,10 @@
 //! Property-based tests of the block-cyclic layout, Pod packing, the
 //! segment byte machinery and the collectives.
 
-use proptest::prelude::*;
 use rupcxx::prelude::*;
 use rupcxx_net::{pod, Segment};
+use rupcxx_util::prop as proptest;
+use rupcxx_util::prop::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

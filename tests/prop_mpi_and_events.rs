@@ -1,9 +1,10 @@
 //! Property tests of the two-sided matching layer (against the MPI
 //! non-overtaking rule) and the event-driven task-DAG machinery.
 
-use proptest::prelude::*;
 use rupcxx::prelude::*;
 use rupcxx_mpi::MpiWorld;
+use rupcxx_util::prop as proptest;
+use rupcxx_util::prop::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
