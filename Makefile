@@ -1,11 +1,15 @@
-# Local CI gate — the same three checks the workflow runs.
+# Local CI gate — the same checks the workflow runs.
 # `make ci` must be green before merging.
 
 CARGO ?= cargo
 
-.PHONY: ci fmt clippy test
+# Pinned seeds for the chaos suite: three distinct fault schedules,
+# each fully reproducible (see README "Robustness").
+CHAOS_SEEDS ?= 101 202 303
 
-ci: fmt clippy test
+.PHONY: ci fmt clippy test chaos
+
+ci: fmt clippy test chaos
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -15,3 +19,9 @@ clippy:
 
 test:
 	$(CARGO) test --workspace -q
+
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos seed $$seed =="; \
+		RUPCXX_CHAOS_SEED=$$seed $(CARGO) test -q --test chaos_integration || exit 1; \
+	done

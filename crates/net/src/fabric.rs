@@ -10,13 +10,15 @@
 //! the destination's progress engine (`rupcxx-runtime`'s `advance()`), which
 //! mirrors GASNet's AM + polling model.
 
+use crate::faults::FaultPlan;
+use crate::reliable::{AmChannel, PeerUnreachable};
 use crate::segment::Segment;
 use crate::stats::{CommCounts, CommStats};
 use crate::Rank;
 use rupcxx_trace::{EventKind, RankTrace, TraceConfig};
-use rupcxx_util::sync::SegQueue;
+use rupcxx_util::sync::{Mutex, SegQueue};
 use rupcxx_util::Bytes;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// An address in the global address space: a rank plus a byte offset into
@@ -88,20 +90,24 @@ pub struct AmMessage {
 pub struct Endpoint {
     /// This rank's globally addressable memory.
     pub segment: Segment,
-    inbox: SegQueue<AmMessage>,
+    pub(crate) inbox: SegQueue<AmMessage>,
     /// Traffic counters for operations initiated by this rank.
     pub stats: CommStats,
     /// Structured tracing + metrics for this rank (off by default).
     pub trace: RankTrace,
+    /// Reliable-delivery state for this rank's incoming links; allocated
+    /// only when the fabric has a fault plan.
+    pub(crate) reliable: Option<AmChannel>,
 }
 
 impl Endpoint {
-    fn new(segment_bytes: usize, trace: &TraceConfig) -> Self {
+    fn new(ranks: usize, segment_bytes: usize, trace: &TraceConfig, faulty: bool) -> Self {
         Endpoint {
             segment: Segment::new(segment_bytes),
             inbox: SegQueue::new(),
             stats: CommStats::default(),
             trace: RankTrace::new(trace),
+            reliable: faulty.then(|| AmChannel::new(ranks)),
         }
     }
 
@@ -116,8 +122,31 @@ impl Endpoint {
     }
 
     /// Number of queued, not-yet-executed active messages.
+    ///
+    /// This is a racy sample: a concurrent sender or the progress engine
+    /// can change the queue between this call and the next. Tests that
+    /// need a consistent observation should use [`Endpoint::drain`].
     pub fn pending(&self) -> usize {
         self.inbox.len()
+    }
+
+    /// Dequeue *every* pending active message in one consistent snapshot
+    /// (single critical section), counting them as handled.
+    ///
+    /// Unlike a `try_recv`/`pending` loop — which samples the queue
+    /// length without a snapshot and can interleave with concurrent
+    /// pushes — the returned batch is exactly the queue contents at one
+    /// instant, in FIFO order. Intended for tests asserting on delivery
+    /// order/content under reordering; the runtime's progress engine
+    /// keeps using `try_recv` one message at a time.
+    pub fn drain(&self) -> Vec<AmMessage> {
+        let msgs = self.inbox.drain();
+        if !msgs.is_empty() {
+            self.stats
+                .ams_handled
+                .fetch_add(msgs.len() as u64, Ordering::Relaxed);
+        }
+        msgs
     }
 }
 
@@ -181,6 +210,10 @@ pub struct FabricConfig {
     pub simnet: Option<SimNet>,
     /// Tracing/metrics configuration applied to every endpoint.
     pub trace: TraceConfig,
+    /// Optional deterministic fault-injection plan (`RUPCXX_FAULTS`).
+    /// None (the default) keeps the exact fault-free fast path: AMs go
+    /// straight to the destination inbox, RMA never draws a fate.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for FabricConfig {
@@ -190,27 +223,51 @@ impl Default for FabricConfig {
             segment_bytes: 16 << 20,
             simnet: None,
             trace: TraceConfig::off(),
+            faults: None,
         }
     }
 }
 
 /// The communication fabric: all endpoints of an SPMD job.
 pub struct Fabric {
-    endpoints: Box<[Endpoint]>,
+    pub(crate) endpoints: Box<[Endpoint]>,
     simnet: Option<SimNet>,
+    /// Fault-injection plan; None disables the reliable layer entirely.
+    pub(crate) faults: Option<FaultPlan>,
+    /// Set once a peer is declared unreachable (checked by blocking
+    /// waits via [`Fabric::has_failed`]).
+    pub(crate) failed: AtomicBool,
+    /// First failure's detail, for [`Fabric::failure`].
+    pub(crate) failure_detail: Mutex<Option<PeerUnreachable>>,
 }
 
 impl Fabric {
     /// Build a fabric per `config`.
     pub fn new(config: FabricConfig) -> Arc<Self> {
         assert!(config.ranks > 0, "fabric needs at least one rank");
+        let faults = config.faults.filter(|p| !p.is_noop());
         let endpoints = (0..config.ranks)
-            .map(|_| Endpoint::new(config.segment_bytes, &config.trace))
+            .map(|_| {
+                Endpoint::new(
+                    config.ranks,
+                    config.segment_bytes,
+                    &config.trace,
+                    faults.is_some(),
+                )
+            })
             .collect();
         Arc::new(Fabric {
             endpoints,
             simnet: config.simnet,
+            faults,
+            failed: AtomicBool::new(false),
+            failure_detail: Mutex::new(None),
         })
+    }
+
+    /// True when a fault plan is installed (the reliable layer is live).
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Number of ranks.
@@ -226,7 +283,7 @@ impl Fabric {
     /// Charge the synthetic wire for a remote transfer (no-op without a
     /// [`SimNet`] or for rank-local operations).
     #[inline]
-    fn wire(&self, initiator: Rank, target: Rank, bytes: usize) {
+    pub(crate) fn wire(&self, initiator: Rank, target: Rank, bytes: usize) {
         if initiator != target {
             if let Some(sim) = &self.simnet {
                 sim.charge(bytes);
@@ -252,8 +309,19 @@ impl Fabric {
         }
     }
 
+    /// Fault gate shared by every RMA op: with no plan installed this is
+    /// the hot path's single extra branch; with one, remote ops draw a
+    /// fate and retry drops inline (see `reliable::rma_gate_slow`).
+    #[inline]
+    fn rma_gate(&self, initiator: Rank, target: Rank, bytes: usize) {
+        if self.faults.is_some() && initiator != target {
+            self.rma_gate_slow(initiator, target, bytes);
+        }
+    }
+
     #[inline]
     fn count_put(&self, initiator: Rank, target: Rank, bytes: usize) {
+        self.rma_gate(initiator, target, bytes);
         let stats = &self.endpoints[initiator].stats;
         if initiator == target {
             stats.local_ops.fetch_add(1, Ordering::Relaxed);
@@ -265,6 +333,7 @@ impl Fabric {
 
     #[inline]
     fn count_get(&self, initiator: Rank, target: Rank, bytes: usize) {
+        self.rma_gate(initiator, target, bytes);
         let stats = &self.endpoints[initiator].stats;
         if initiator == target {
             stats.local_ops.fetch_add(1, Ordering::Relaxed);
@@ -427,7 +496,10 @@ impl Fabric {
     }
 
     /// Send an active message to `dst`. FIFO order is preserved per
-    /// (source, destination) pair.
+    /// (source, destination) pair — with a fault plan installed the
+    /// reliable layer re-establishes it through sequence numbers,
+    /// retransmission and receiver-side reordering; otherwise the push
+    /// below is FIFO by construction.
     pub fn send_am(&self, initiator: Rank, dst: Rank, payload: AmPayload) {
         let am_bytes = match &payload {
             AmPayload::Handler { args, .. } => args.len(),
@@ -444,10 +516,16 @@ impl Fabric {
         self.endpoints[initiator]
             .trace
             .instant(EventKind::AmSend, dst as i32, am_bytes as u64);
-        self.endpoints[dst].inbox.push(AmMessage {
-            src: initiator,
-            payload,
-        });
+        // The single faults-off branch on the AM path; local deliveries
+        // never traverse the (faulty) wire.
+        if self.faults.is_some() && initiator != dst {
+            self.am_transmit(initiator, dst, payload);
+        } else {
+            self.endpoints[dst].inbox.push(AmMessage {
+                src: initiator,
+                payload,
+            });
+        }
     }
 
     /// Aggregate traffic snapshot over all endpoints.
@@ -484,6 +562,7 @@ mod tests {
             segment_bytes: 4096,
             simnet: None,
             trace: TraceConfig::off(),
+            faults: None,
         })
     }
 
@@ -595,6 +674,7 @@ mod tests {
                 bytes_per_us: 0,
             }),
             trace: TraceConfig::off(),
+            faults: None,
         });
         // Remote word put takes at least the injected latency.
         let t = std::time::Instant::now();
@@ -620,6 +700,7 @@ mod tests {
                 bytes_per_us: 100, // 100 MB/s: 512 KiB ≈ 5.2 ms
             }),
             trace: TraceConfig::off(),
+            faults: None,
         });
         let data = vec![0u8; 512 << 10];
         let t = std::time::Instant::now();
@@ -631,6 +712,57 @@ mod tests {
     fn global_addr_arithmetic() {
         let a = GlobalAddr::new(3, 100);
         assert_eq!(a.add(28), GlobalAddr::new(3, 128));
+    }
+
+    #[test]
+    fn endpoint_drain_is_consistent_and_counts_handled() {
+        let f = fabric(2);
+        for i in 0..6u16 {
+            f.send_am(
+                0,
+                1,
+                AmPayload::Handler {
+                    id: i,
+                    args: Bytes::new(),
+                },
+            );
+        }
+        let batch = f.endpoint(1).drain();
+        assert_eq!(batch.len(), 6);
+        let ids: Vec<u16> = batch
+            .iter()
+            .map(|m| match &m.payload {
+                AmPayload::Handler { id, .. } => *id,
+                other => panic!("unexpected payload {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, (0..6).collect::<Vec<_>>());
+        assert_eq!(f.endpoint(1).pending(), 0);
+        assert_eq!(f.endpoint(1).stats.snapshot().ams_handled, 6);
+        // Draining an empty inbox is a no-op, not a count.
+        assert!(f.endpoint(1).drain().is_empty());
+        assert_eq!(f.endpoint(1).stats.snapshot().ams_handled, 6);
+    }
+
+    #[test]
+    fn noop_fault_plan_skips_reliable_layer() {
+        let f = Fabric::new(FabricConfig {
+            ranks: 2,
+            segment_bytes: 4096,
+            simnet: None,
+            trace: TraceConfig::off(),
+            faults: Some(crate::faults::FaultPlan::new(1)),
+        });
+        assert!(!f.has_faults(), "a no-op plan must not slow the fabric");
+        f.send_am(
+            0,
+            1,
+            AmPayload::Handler {
+                id: 0,
+                args: Bytes::new(),
+            },
+        );
+        assert_eq!(f.endpoint(1).pending(), 1);
     }
 
     #[test]

@@ -22,12 +22,16 @@
 //! relaxed memory-consistency model (§III-F).
 
 pub mod fabric;
+pub mod faults;
 pub mod pod;
+pub mod reliable;
 pub mod segment;
 pub mod stats;
 
 pub use fabric::{AmMessage, AmPayload, Endpoint, Fabric, FabricConfig, GlobalAddr, SimNet};
+pub use faults::{Fate, FaultPlan, LinkRule};
 pub use pod::Pod;
+pub use reliable::PeerUnreachable;
 pub use segment::Segment;
 pub use stats::{CommCounts, CommStats};
 

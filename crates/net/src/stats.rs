@@ -26,6 +26,20 @@ pub struct CommStats {
     pub ams_handled: AtomicU64,
     /// Operations that resolved to local memory (no communication).
     pub local_ops: AtomicU64,
+    /// Frames retransmitted by the reliable AM layer (initiator side).
+    /// Nonzero only under fault injection (`RUPCXX_FAULTS`).
+    pub retransmits: AtomicU64,
+    /// Transmission attempts lost on the wire by the fault plan
+    /// (initiator side). Every wire drop costs one retransmit, so at
+    /// quiescence `retransmits == wire_drops` unless a peer was declared
+    /// unreachable.
+    pub wire_drops: AtomicU64,
+    /// Duplicate frame arrivals discarded by the dedup window (receiver
+    /// side).
+    pub dup_arrivals: AtomicU64,
+    /// Frames that arrived ahead of a predecessor and were parked in the
+    /// receiver's reorder buffer before in-order release (receiver side).
+    pub reorders: AtomicU64,
     /// Completed [`CommStats::reset`] calls (see that method's caveats).
     epoch: AtomicU64,
 }
@@ -43,6 +57,10 @@ impl CommStats {
             am_bytes: self.am_bytes.load(Ordering::Relaxed),
             ams_handled: self.ams_handled.load(Ordering::Relaxed),
             local_ops: self.local_ops.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            wire_drops: self.wire_drops.load(Ordering::Relaxed),
+            dup_arrivals: self.dup_arrivals.load(Ordering::Relaxed),
+            reorders: self.reorders.load(Ordering::Relaxed),
             epoch: self.epoch.load(Ordering::Acquire),
         }
     }
@@ -66,6 +84,10 @@ impl CommStats {
         self.am_bytes.store(0, Ordering::Relaxed);
         self.ams_handled.store(0, Ordering::Relaxed);
         self.local_ops.store(0, Ordering::Relaxed);
+        self.retransmits.store(0, Ordering::Relaxed);
+        self.wire_drops.store(0, Ordering::Relaxed);
+        self.dup_arrivals.store(0, Ordering::Relaxed);
+        self.reorders.store(0, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -115,6 +137,14 @@ pub struct CommCounts {
     pub ams_handled: u64,
     /// Operations resolved locally.
     pub local_ops: u64,
+    /// Frames retransmitted by the reliable AM layer.
+    pub retransmits: u64,
+    /// Transmission attempts lost on the wire by the fault plan.
+    pub wire_drops: u64,
+    /// Duplicate arrivals discarded by the dedup window.
+    pub dup_arrivals: u64,
+    /// Out-of-order arrivals parked before in-order release.
+    pub reorders: u64,
     /// Reset epoch of the endpoint at snapshot time (see
     /// [`CommStats::epoch`]). Not part of equality.
     pub epoch: u64,
@@ -130,6 +160,10 @@ impl PartialEq for CommCounts {
             && self.am_bytes == other.am_bytes
             && self.ams_handled == other.ams_handled
             && self.local_ops == other.local_ops
+            && self.retransmits == other.retransmits
+            && self.wire_drops == other.wire_drops
+            && self.dup_arrivals == other.dup_arrivals
+            && self.reorders == other.reorders
     }
 }
 
@@ -160,6 +194,10 @@ impl CommCounts {
             am_bytes: self.am_bytes - earlier.am_bytes,
             ams_handled: self.ams_handled - earlier.ams_handled,
             local_ops: self.local_ops - earlier.local_ops,
+            retransmits: self.retransmits - earlier.retransmits,
+            wire_drops: self.wire_drops - earlier.wire_drops,
+            dup_arrivals: self.dup_arrivals - earlier.dup_arrivals,
+            reorders: self.reorders - earlier.reorders,
         }
     }
 
@@ -176,6 +214,10 @@ impl CommCounts {
             am_bytes: self.am_bytes + other.am_bytes,
             ams_handled: self.ams_handled + other.ams_handled,
             local_ops: self.local_ops + other.local_ops,
+            retransmits: self.retransmits + other.retransmits,
+            wire_drops: self.wire_drops + other.wire_drops,
+            dup_arrivals: self.dup_arrivals + other.dup_arrivals,
+            reorders: self.reorders + other.reorders,
         }
     }
 }
@@ -221,6 +263,78 @@ mod tests {
         let base = s.snapshot();
         s.reset();
         let _ = s.delta_since(&base);
+    }
+
+    #[test]
+    fn delta_since_valid_again_after_fresh_baseline_in_new_epoch() {
+        // A reset invalidates old baselines, but a baseline taken *after*
+        // the reset measures the new epoch normally.
+        let s = CommStats::default();
+        s.puts.fetch_add(9, Ordering::Relaxed);
+        s.reset();
+        s.reset();
+        assert_eq!(s.epoch(), 2);
+        let base = s.snapshot();
+        assert_eq!(base.epoch, 2);
+        s.puts.fetch_add(4, Ordering::Relaxed);
+        s.retransmits.fetch_add(3, Ordering::Relaxed);
+        let d = s.delta_since(&base);
+        assert_eq!(d.puts, 4);
+        assert_eq!(d.retransmits, 3);
+        assert_eq!(d.epoch, 2);
+    }
+
+    #[test]
+    fn fault_counters_round_trip_snapshot_reset_delta() {
+        let s = CommStats::default();
+        s.retransmits.fetch_add(5, Ordering::Relaxed);
+        s.wire_drops.fetch_add(5, Ordering::Relaxed);
+        s.dup_arrivals.fetch_add(2, Ordering::Relaxed);
+        s.reorders.fetch_add(1, Ordering::Relaxed);
+        let base = s.snapshot();
+        assert_eq!(base.retransmits, 5);
+        assert_eq!(base.wire_drops, 5);
+        assert_eq!(base.dup_arrivals, 2);
+        assert_eq!(base.reorders, 1);
+        s.wire_drops.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(s.delta_since(&base).wire_drops, 2);
+        s.reset();
+        assert_eq!(s.snapshot(), CommCounts::default());
+        // Fault counters participate in equality: same traffic but a
+        // different drop count must not compare equal.
+        let a = CommCounts {
+            wire_drops: 1,
+            ..Default::default()
+        };
+        assert_ne!(a, CommCounts::default());
+    }
+
+    #[test]
+    fn fault_counters_in_since_and_merged() {
+        let a = CommCounts {
+            retransmits: 7,
+            wire_drops: 7,
+            dup_arrivals: 3,
+            reorders: 2,
+            ..Default::default()
+        };
+        let b = CommCounts {
+            retransmits: 2,
+            wire_drops: 2,
+            dup_arrivals: 1,
+            reorders: 2,
+            ..Default::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.retransmits, 5);
+        assert_eq!(d.wire_drops, 5);
+        assert_eq!(d.dup_arrivals, 2);
+        assert_eq!(d.reorders, 0);
+        let m = a.merged(&b);
+        assert_eq!(m.retransmits, 9);
+        assert_eq!(m.wire_drops, 9);
+        assert_eq!(m.dup_arrivals, 4);
+        assert_eq!(m.reorders, 4);
     }
 
     #[test]

@@ -82,4 +82,22 @@ mod tests {
             ctx.fence();
         });
     }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn barrier_over_dead_link_reports_failure() {
+        // The 0->1 link drops every attempt: rank 0's barrier signal can
+        // never reach rank 1, so the job must surface `PeerUnreachable`
+        // (through the wait_until funnel) rather than spin forever.
+        use rupcxx_net::{FaultPlan, LinkRule};
+        let dead = LinkRule {
+            drop_ppm: 1_000_000,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(11).link(0, 1, dead).max_attempts(4);
+        spmd(
+            RuntimeConfig::new(2).segment_bytes(4096).with_faults(plan),
+            |ctx| ctx.barrier(),
+        );
+    }
 }

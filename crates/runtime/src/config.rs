@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use rupcxx_net::SimNet;
+use rupcxx_net::{FaultPlan, SimNet};
 use rupcxx_trace::TraceConfig;
 
 /// Parameters for an SPMD job.
@@ -23,6 +23,10 @@ pub struct RuntimeConfig {
     /// from the `RUPCXX_TRACE` environment variable, so harnesses get
     /// tracing for free; override with [`RuntimeConfig::with_trace`].
     pub trace: TraceConfig,
+    /// Deterministic fault-injection plan for the fabric (chaos testing).
+    /// [`RuntimeConfig::new`] seeds this from `RUPCXX_FAULTS`; override
+    /// with [`RuntimeConfig::with_faults`]. None = fault-free fast path.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RuntimeConfig {
@@ -34,12 +38,19 @@ impl RuntimeConfig {
             progress_thread: false,
             simnet: None,
             trace: TraceConfig::from_env(),
+            faults: FaultPlan::from_env(),
         }
     }
 
     /// Replace the tracing configuration (overriding `RUPCXX_TRACE`).
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Install a fault-injection plan (overriding `RUPCXX_FAULTS`).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -90,5 +101,13 @@ mod tests {
             .with_progress_thread();
         assert_eq!(d.segment_bytes, 4096);
         assert!(d.progress_thread);
+    }
+
+    #[test]
+    fn with_faults_installs_plan() {
+        let c = RuntimeConfig::new(2).with_faults(FaultPlan::new(42).drop(0.1));
+        let plan = c.faults.expect("plan installed");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.base.drop_ppm, 100_000);
     }
 }

@@ -60,7 +60,14 @@ impl Ctx {
     /// Drive the progress engine: drain this rank's active-message inbox,
     /// executing each incoming task/handler. Returns the number of messages
     /// processed. This is the paper's `advance()` (§IV).
+    ///
+    /// Under fault injection this also drives the reliable layer for this
+    /// rank's incoming links (releasing delayed frames, retransmitting
+    /// lost ones); that work counts toward the return value so spinning
+    /// waiters see progress. Without a fault plan the pump is a single
+    /// early-return branch.
     pub fn advance(&self) -> usize {
+        let pumped = self.shared.fabric.pump_incoming(self.rank);
         let ep = self.shared.fabric.endpoint(self.rank);
         if !ep.trace.enabled() {
             // Untraced fast path: identical to the pre-trace engine.
@@ -69,9 +76,9 @@ impl Ctx {
                 self.execute(msg);
                 n += 1;
             }
-            return n;
+            return n + pumped;
         }
-        self.advance_traced()
+        self.advance_traced() + pumped
     }
 
     /// Run one incoming active message.
@@ -113,9 +120,25 @@ impl Ctx {
     /// operations in the runtime funnel through here so that a waiting rank
     /// keeps serving incoming active messages (required for deadlock
     /// freedom, as in GASNet polling mode).
+    ///
+    /// Every blocking construct — barriers, events, futures, `finish` —
+    /// waits through this loop, so this is also where a fabric failure
+    /// surfaces: if fault injection declares a peer unreachable, the wait
+    /// panics with the `PeerUnreachable` report instead of spinning on a
+    /// condition that can never become true.
+    ///
+    /// # Panics
+    /// Panics when the fabric has recorded a delivery failure (fault
+    /// injection only; see `rupcxx_net::PeerUnreachable`).
     pub fn wait_until(&self, mut cond: impl FnMut() -> bool) {
         let mut idle_spins = 0u32;
         loop {
+            if self.shared.fabric.has_failed() {
+                match self.shared.fabric.failure() {
+                    Some(e) => panic!("{e}"),
+                    None => panic!("fabric failed: peer unreachable"),
+                }
+            }
             if cond() {
                 return;
             }
@@ -184,10 +207,17 @@ impl Ctx {
         self.shared.completed.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// Serve progress until every rank has completed its SPMD closure.
+    /// Serve progress until every rank has completed its SPMD closure —
+    /// and, under fault injection, until no frame destined for this rank
+    /// is still lost/held/buffered. A rank exiting a barrier does *not*
+    /// imply its peers stopped transmitting, so without the quiescence
+    /// wait, end-of-job retransmit counts would be racy.
     pub(crate) fn drain_until_all_complete(&self) {
         let n = self.ranks();
-        self.wait_until(|| self.shared.completed.load(Ordering::Acquire) >= n);
+        self.wait_until(|| {
+            self.shared.completed.load(Ordering::Acquire) >= n
+                && self.shared.fabric.links_quiescent(self.rank)
+        });
         // One final drain: tasks may have been enqueued concurrently with
         // the last completion.
         self.advance();

@@ -291,6 +291,36 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unreachable")]
+    fn event_wait_over_dead_link_reports_failure() {
+        // Rank 0 waits on an event whose signal rides a task sent over a
+        // link that drops every attempt. `Event::wait` funnels through
+        // wait_until, so the retransmit timeout must surface as a panic
+        // carrying the `PeerUnreachable` report instead of a hang.
+        use crate::spmd::spmd;
+        use crate::RuntimeConfig;
+        use rupcxx_net::{FaultPlan, LinkRule};
+        let dead = LinkRule {
+            drop_ppm: 1_000_000,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(23).link(0, 1, dead).max_attempts(4);
+        spmd(
+            RuntimeConfig::new(2).segment_bytes(4096).with_faults(plan),
+            |ctx| {
+                if ctx.rank() == 0 {
+                    let ev = Event::new();
+                    ev.register();
+                    let ev2 = ev.clone();
+                    // This task can never arrive at rank 1.
+                    ctx.send_task(1, move || ev2.signal());
+                    ev.wait(ctx);
+                }
+            },
+        );
+    }
+
+    #[test]
     fn concurrent_signal_and_on_fire_never_lose_thunks() {
         for _ in 0..200 {
             let e = Event::new();

@@ -157,6 +157,31 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unreachable")]
+    fn finish_over_dead_link_reports_failure() {
+        // The spawn AM can never reach rank 1 (every attempt on the 0->1
+        // link is dropped), so the enclosing finish must panic with the
+        // `PeerUnreachable` report once retransmission gives up, rather
+        // than wait forever for a completion signal.
+        use rupcxx_net::{FaultPlan, LinkRule};
+        let dead = LinkRule {
+            drop_ppm: 1_000_000,
+            ..Default::default()
+        };
+        let plan = FaultPlan::new(31).link(0, 1, dead).max_attempts(4);
+        spmd(
+            RuntimeConfig::new(2).segment_bytes(4096).with_faults(plan),
+            |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.finish(|fs| {
+                        fs.spawn(1, |_| {});
+                    });
+                }
+            },
+        );
+    }
+
+    #[test]
     fn spawn_with_result_resolves_future() {
         let results = spmd(RuntimeConfig::new(2).segment_bytes(4096), |ctx| {
             if ctx.rank() == 0 {

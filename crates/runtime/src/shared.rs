@@ -1,7 +1,7 @@
 //! Process-wide state shared by all rank threads of one SPMD job.
 
 use crate::alloc::SegAllocator;
-use rupcxx_net::{Fabric, FabricConfig, Rank, SimNet};
+use rupcxx_net::{Fabric, FabricConfig, FaultPlan, Rank, SimNet};
 use rupcxx_trace::TraceConfig;
 use rupcxx_util::sync::Mutex;
 use rupcxx_util::Bytes;
@@ -156,11 +156,26 @@ impl Shared {
         handlers: HandlerRegistry,
         trace: TraceConfig,
     ) -> Arc<Self> {
+        Self::new_full(ranks, segment_bytes, simnet, handlers, trace, None)
+    }
+
+    /// The full constructor: [`Shared::new_traced`] plus an optional
+    /// deterministic fault-injection plan (see `rupcxx-net`'s `faults`
+    /// module; the SPMD launcher passes `RuntimeConfig::faults` through).
+    pub fn new_full(
+        ranks: usize,
+        segment_bytes: usize,
+        simnet: Option<SimNet>,
+        handlers: HandlerRegistry,
+        trace: TraceConfig,
+        faults: Option<FaultPlan>,
+    ) -> Arc<Self> {
         let fabric = Fabric::new(FabricConfig {
             ranks,
             segment_bytes,
             simnet,
             trace,
+            faults,
         });
         Arc::new(Shared {
             fabric,

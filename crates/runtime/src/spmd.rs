@@ -41,12 +41,13 @@ where
     F: Fn(&Ctx) -> R + Send + Sync,
 {
     assert!(config.ranks > 0, "spmd needs at least one rank");
-    let shared = Shared::new_traced(
+    let shared = Shared::new_full(
         config.ranks,
         config.segment_bytes,
         config.simnet,
         handlers,
         config.trace.clone(),
+        config.faults.clone(),
     );
     let body = &body;
     let progress_stop = std::sync::atomic::AtomicBool::new(false);

@@ -70,6 +70,9 @@ pub fn summary_table(rows: &[(usize, MetricsSnapshot)]) -> Table {
         "work%",
         "qdepth p99",
         "bytes p50",
+        "retx",
+        "drops",
+        "dups",
     ]);
     let mut add_row = |label: String, m: &MetricsSnapshot| {
         t.row([
@@ -85,6 +88,9 @@ pub fn summary_table(rows: &[(usize, MetricsSnapshot)]) -> Table {
             format!("{:.1}", m.poll_work_ratio() * 100.0),
             m.queue_depth.p99().to_string(),
             m.msg_bytes.p50().to_string(),
+            m.retransmits.to_string(),
+            m.wire_drops.to_string(),
+            m.dup_arrivals.to_string(),
         ]);
     };
     let mut total = MetricsSnapshot::default();
@@ -148,6 +154,9 @@ mod tests {
         let m = MetricsSnapshot {
             advance_polls: 10,
             advance_work: 5,
+            retransmits: 3,
+            wire_drops: 4,
+            dup_arrivals: 2,
             ..Default::default()
         };
         let t = summary_table(&[(0, m), (1, m)]);
@@ -155,5 +164,9 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("all"));
         assert!(rendered.contains("50.0"));
+        // Fault columns present, with the aggregate row summing them.
+        assert!(rendered.contains("retx"));
+        assert!(rendered.contains("drops"));
+        assert!(rendered.contains('8'), "aggregate wire_drops 4+4");
     }
 }

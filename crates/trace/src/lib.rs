@@ -246,7 +246,11 @@ impl RankTrace {
             EventKind::Barrier => self.metrics.barrier_ns.record(dur),
             EventKind::EventWait | EventKind::FinishWait => self.metrics.wait_ns.record(dur),
             EventKind::LockAcquire => self.metrics.lock_ns.record(dur),
-            EventKind::AmSend | EventKind::TaskSpawn => {}
+            EventKind::AmSend
+            | EventKind::TaskSpawn
+            | EventKind::AmRetransmit
+            | EventKind::WireDrop
+            | EventKind::AmDup => {}
         }
         if let Some(ring) = &self.ring {
             ring.push(TraceEvent {
@@ -272,8 +276,19 @@ impl RankTrace {
 
     #[cold]
     fn instant_slow(&self, kind: EventKind, peer: i32, bytes: u64) {
-        if kind == EventKind::AmSend {
-            self.metrics.msg_bytes.record(bytes);
+        use std::sync::atomic::Ordering;
+        match kind {
+            EventKind::AmSend => self.metrics.msg_bytes.record(bytes),
+            EventKind::AmRetransmit => {
+                self.metrics.retransmits.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::WireDrop => {
+                self.metrics.wire_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::AmDup => {
+                self.metrics.dup_arrivals.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
         }
         if let Some(ring) = &self.ring {
             ring.push_instant(kind, peer, bytes);
@@ -350,6 +365,15 @@ mod tests {
         t.poll(1, 1);
         let evs = t.events();
         assert_eq!(evs.len(), 2);
+        t.instant(EventKind::AmRetransmit, 1, 0);
+        t.instant(EventKind::WireDrop, 1, 0);
+        t.instant(EventKind::WireDrop, 1, 0);
+        t.instant(EventKind::AmDup, 1, 0);
+        let m = t.metrics.snapshot();
+        assert_eq!(m.retransmits, 1);
+        assert_eq!(m.wire_drops, 2);
+        assert_eq!(m.dup_arrivals, 1);
+        assert_eq!(t.events().len(), 6);
         assert_eq!(evs[0].kind, EventKind::Put);
         assert_eq!(evs[0].peer, 1);
         assert_eq!(evs[1].kind, EventKind::TaskSpawn);

@@ -35,6 +35,12 @@ pub struct Metrics {
     pub advance_work: AtomicU64,
     /// Messages processed by `advance()` in total.
     pub advance_msgs: AtomicU64,
+    /// Frames retransmitted by the reliable AM layer (fault injection).
+    pub retransmits: AtomicU64,
+    /// Transmission attempts lost on the wire by the fault plan.
+    pub wire_drops: AtomicU64,
+    /// Duplicate arrivals discarded by the dedup window.
+    pub dup_arrivals: AtomicU64,
 }
 
 impl Metrics {
@@ -53,6 +59,9 @@ impl Metrics {
             advance_polls: self.advance_polls.load(Ordering::Relaxed),
             advance_work: self.advance_work.load(Ordering::Relaxed),
             advance_msgs: self.advance_msgs.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            wire_drops: self.wire_drops.load(Ordering::Relaxed),
+            dup_arrivals: self.dup_arrivals.load(Ordering::Relaxed),
         }
     }
 }
@@ -84,6 +93,12 @@ pub struct MetricsSnapshot {
     pub advance_work: u64,
     /// Messages processed across all polls.
     pub advance_msgs: u64,
+    /// Frames retransmitted by the reliable AM layer.
+    pub retransmits: u64,
+    /// Transmission attempts lost on the wire by the fault plan.
+    pub wire_drops: u64,
+    /// Duplicate arrivals discarded by the dedup window.
+    pub dup_arrivals: u64,
 }
 
 impl MetricsSnapshot {
@@ -112,6 +127,9 @@ impl MetricsSnapshot {
             advance_polls: self.advance_polls + other.advance_polls,
             advance_work: self.advance_work + other.advance_work,
             advance_msgs: self.advance_msgs + other.advance_msgs,
+            retransmits: self.retransmits + other.retransmits,
+            wire_drops: self.wire_drops + other.wire_drops,
+            dup_arrivals: self.dup_arrivals + other.dup_arrivals,
         }
     }
 }

@@ -37,6 +37,13 @@ pub enum EventKind {
     FinishWait,
     /// Global lock acquisition, including the spin (span).
     LockAcquire,
+    /// Frame retransmitted by the reliable AM layer (instant; fault
+    /// injection only).
+    AmRetransmit,
+    /// Transmission attempt lost on the wire by the fault plan (instant).
+    WireDrop,
+    /// Duplicate arrival discarded by the dedup window (instant).
+    AmDup,
 }
 
 impl EventKind {
@@ -53,6 +60,9 @@ impl EventKind {
             EventKind::EventWait => "event_wait",
             EventKind::FinishWait => "finish_wait",
             EventKind::LockAcquire => "lock_acquire",
+            EventKind::AmRetransmit => "am_retransmit",
+            EventKind::WireDrop => "wire_drop",
+            EventKind::AmDup => "am_dup",
         }
     }
 
@@ -66,12 +76,20 @@ impl EventKind {
             | EventKind::EventWait
             | EventKind::FinishWait
             | EventKind::LockAcquire => "sync",
+            EventKind::AmRetransmit | EventKind::WireDrop | EventKind::AmDup => "fault",
         }
     }
 
     /// True for duration events, false for instants.
     pub fn is_span(self) -> bool {
-        !matches!(self, EventKind::AmSend | EventKind::TaskSpawn)
+        !matches!(
+            self,
+            EventKind::AmSend
+                | EventKind::TaskSpawn
+                | EventKind::AmRetransmit
+                | EventKind::WireDrop
+                | EventKind::AmDup
+        )
     }
 }
 
@@ -311,5 +329,8 @@ mod tests {
         assert!(EventKind::Put.is_span());
         assert!(!EventKind::AmSend.is_span());
         assert_eq!(EventKind::Advance.category(), "progress");
+        assert_eq!(EventKind::AmRetransmit.name(), "am_retransmit");
+        assert_eq!(EventKind::WireDrop.category(), "fault");
+        assert!(!EventKind::AmDup.is_span());
     }
 }

@@ -231,6 +231,51 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
+/// Shrink a failing `Vec` input to a locally minimal one, ddmin-style.
+///
+/// `fails` must return `true` for the original `input` (the property is
+/// violated). The shrinker repeatedly tries removing chunks — halves
+/// first, then smaller slices, down to single elements — keeping any
+/// candidate that still fails, until no single-element removal preserves
+/// the failure. The result is *1-minimal*: every element is necessary for
+/// the failure, which is what makes a shrunk counterexample readable.
+///
+/// Deterministic (no randomness), so a shrunk failing schedule reported
+/// by a property test is reproducible as-is.
+pub fn shrink_vec<T: Clone>(input: Vec<T>, fails: impl Fn(&[T]) -> bool) -> Vec<T> {
+    assert!(
+        fails(&input),
+        "shrink_vec: the original input must fail the property"
+    );
+    let mut cur = input;
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if fails(&candidate) {
+                cur = candidate;
+                progressed = true;
+                // Re-test the same start: the slice that moved into this
+                // window may be removable too.
+                continue;
+            }
+            start += chunk;
+        }
+        if chunk == 1 {
+            if !progressed {
+                return cur;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
 /// Deterministic per-test seed: FNV-1a over the test function's name.
 pub fn seed_from_name(name: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -371,6 +416,37 @@ mod tests {
     #[test]
     fn seeds_differ_by_name() {
         assert_ne!(seed_from_name("a"), seed_from_name("b"));
+    }
+
+    #[test]
+    fn shrink_vec_finds_minimal_pair() {
+        // Property fails iff the input contains both a 3 and a 7;
+        // the minimal failing input is exactly {3, 7}.
+        let fails = |v: &[u32]| v.contains(&3) && v.contains(&7);
+        let noisy = vec![9, 1, 3, 4, 4, 2, 7, 8, 0, 3, 5, 6];
+        let mut shrunk = shrink_vec(noisy, fails);
+        shrunk.sort_unstable();
+        assert_eq!(shrunk, vec![3, 7]);
+    }
+
+    #[test]
+    fn shrink_vec_keeps_single_culprit() {
+        let fails = |v: &[i64]| v.iter().any(|&x| x < 0);
+        let shrunk = shrink_vec(vec![5, 2, -9, 8, 1, 0, 4], fails);
+        assert_eq!(shrunk, vec![-9]);
+    }
+
+    #[test]
+    fn shrink_vec_can_reach_empty() {
+        // A property that always fails shrinks all the way to [].
+        let shrunk = shrink_vec(vec![1, 2, 3, 4], |_| true);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "original input must fail")]
+    fn shrink_vec_rejects_passing_input() {
+        let _ = shrink_vec(vec![1], |v: &[i32]| v.contains(&99));
     }
 
     // The macro itself, exercised end to end.

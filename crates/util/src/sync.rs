@@ -122,6 +122,16 @@ impl<T> SegQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.inner.lock().is_empty()
     }
+
+    /// Take every queued item in one critical section, in FIFO order.
+    ///
+    /// Unlike a `pop()` loop interleaved with `len()` calls, the snapshot
+    /// is consistent: items pushed concurrently are either all-in or
+    /// all-after, never observed half-drained. Tests asserting on inbox
+    /// contents use this to avoid racy observations.
+    pub fn drain(&self) -> Vec<T> {
+        std::mem::take(&mut *self.inner.lock()).into()
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +173,19 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn segqueue_drain_takes_all_fifo() {
+        let q = SegQueue::new();
+        for i in 0..5 {
+            q.push(i);
+        }
+        assert_eq!(q.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        assert_eq!(q.drain(), Vec::<i32>::new());
+        q.push(9);
+        assert_eq!(q.drain(), vec![9]);
     }
 
     #[test]
