@@ -7,9 +7,9 @@ CARGO ?= cargo
 # each fully reproducible (see README "Robustness").
 CHAOS_SEEDS ?= 101 202 303
 
-.PHONY: ci fmt clippy test chaos
+.PHONY: ci fmt clippy test chaos bench-smoke
 
-ci: fmt clippy test chaos
+ci: fmt clippy test chaos bench-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -25,3 +25,8 @@ chaos:
 		echo "== chaos seed $$seed =="; \
 		RUPCXX_CHAOS_SEED=$$seed $(CARGO) test -q --test chaos_integration || exit 1; \
 	done
+
+# Short calibrated aggregation run: asserts the batched path uses no
+# more wire frames than per-op and regenerates BENCH_aggregation.json.
+bench-smoke:
+	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench aggregation

@@ -28,6 +28,13 @@ use rupcxx_util::{GupsRng, Timer};
 pub enum Variant {
     /// `SharedArray` proxy path (the UPC++ curve).
     Upcxx,
+    /// `SharedArray` proxy path with per-destination aggregation: updates
+    /// are non-fetching xors coalesced into batches (requires the job to
+    /// be launched with `RuntimeConfig::with_agg` / `RUPCXX_AGG` for any
+    /// batching to occur; falls through to per-op traffic otherwise).
+    /// Xor is commutative and associative, so the final table is
+    /// bit-for-bit identical to the per-op variants.
+    UpcxxAgg,
     /// Pre-resolved direct path (the UPC curve).
     UpcDirect,
 }
@@ -57,6 +64,10 @@ pub struct GupsResult {
     pub gups: f64,
     /// Whether verification passed (true when `verify` was off).
     pub verified: bool,
+    /// Wrapping sum of the whole table after the update phase (valid on
+    /// every rank). Order-independent, so the aggregated and per-op
+    /// variants must produce the same value for the same parameters.
+    pub checksum: u64,
 }
 
 /// Run GUPS collectively. Every rank must call with identical `cfg`.
@@ -85,6 +96,14 @@ pub fn run(ctx: &Ctx, cfg: &GupsConfig) -> GupsResult {
     let total_updates = (cfg.updates_per_rank * ctx.ranks()) as f64;
     let gups = total_updates / max_secs / 1e9;
 
+    // Whole-table checksum before the (state-restoring) verify pass;
+    // each rank sums its own portion locally.
+    let mut local_sum = 0u64;
+    for i in table.my_indices(ctx).collect::<Vec<_>>() {
+        local_sum = local_sum.wrapping_add(table.read(ctx, i));
+    }
+    let checksum = ctx.allreduce(local_sum, u64::wrapping_add);
+
     let mut verified = true;
     if cfg.verify {
         // Xor is an involution: the same update stream restores Table[i]=i.
@@ -105,6 +124,7 @@ pub fn run(ctx: &Ctx, cfg: &GupsConfig) -> GupsResult {
         updates: cfg.updates_per_rank,
         gups,
         verified,
+        checksum,
     }
 }
 
@@ -126,6 +146,15 @@ fn run_updates(
                 let ran = rng.next_u64();
                 table.xor(ctx, ran as usize & mask, ran);
             }
+        }
+        Variant::UpcxxAgg => {
+            for _ in 0..cfg.updates_per_rank {
+                let ran = rng.next_u64();
+                table.xor_agg(ctx, ran as usize & mask, ran);
+            }
+            // Completion fence: every buffered update applied at its
+            // target before the timed phase ends.
+            ctx.agg_fence();
         }
         Variant::UpcDirect => {
             let d = direct.expect("checked in run()");
@@ -177,6 +206,27 @@ mod tests {
             )
         });
         assert!(out.iter().all(|r| r.verified));
+    }
+
+    #[test]
+    fn gups_agg_variant_matches_plain_checksum() {
+        use rupcxx_net::AggConfig;
+        let cfg = GupsConfig {
+            table_size: 1 << 10,
+            updates_per_rank: 1500,
+            variant: Variant::Upcxx,
+            verify: true,
+        };
+        let plain = spmd(cfg_rt(2), move |ctx| run(ctx, &cfg));
+        let agg_cfg = GupsConfig {
+            variant: Variant::UpcxxAgg,
+            ..cfg
+        };
+        let agg = spmd(cfg_rt(2).with_agg(AggConfig::new()), move |ctx| {
+            run(ctx, &agg_cfg)
+        });
+        assert!(agg.iter().all(|r| r.verified));
+        assert_eq!(plain[0].checksum, agg[0].checksum);
     }
 
     #[test]

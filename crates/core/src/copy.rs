@@ -54,7 +54,9 @@ pub fn async_copy<T: Pod>(
 
 /// Wait for completion of all `async_copy`s issued by this rank
 /// ("handle-less" synchronization, §V-E). Also drives progress once, like
-/// a fence.
+/// a fence — which includes force-flushing any per-destination
+/// aggregation buffers, so buffered fine-grained ops are injected here
+/// too.
 pub fn async_copy_fence(ctx: &Ctx) {
     ctx.fence();
 }

@@ -93,9 +93,17 @@ impl<T: Pod> GlobalPtr<T> {
             let w = ctx.fabric().get_u64(ctx.rank(), self.addr);
             return T::read_from(&w.to_le_bytes());
         }
-        let mut buf = vec![0u8; size];
-        ctx.fabric().get(ctx.rank(), self.addr, &mut buf);
-        T::read_from(&buf)
+        // Small scalars stage through the stack, not a heap vec.
+        let mut stack = [0u8; 32];
+        let mut heap;
+        let buf: &mut [u8] = if size <= 32 {
+            &mut stack[..size]
+        } else {
+            heap = vec![0u8; size];
+            &mut heap
+        };
+        ctx.fabric().get(ctx.rank(), self.addr, buf);
+        T::read_from(buf)
     }
 
     /// One-sided write of the referenced value (UPC++ lvalue use).
@@ -108,9 +116,39 @@ impl<T: Pod> GlobalPtr<T> {
                 .put_u64(ctx.rank(), self.addr, u64::from_le_bytes(w));
             return;
         }
-        let mut buf = vec![0u8; size];
-        value.write_to(&mut buf);
-        ctx.fabric().put(ctx.rank(), self.addr, &buf);
+        let mut stack = [0u8; 32];
+        let mut heap;
+        let buf: &mut [u8] = if size <= 32 {
+            &mut stack[..size]
+        } else {
+            heap = vec![0u8; size];
+            &mut heap
+        };
+        value.write_to(buf);
+        ctx.fabric().put(ctx.rank(), self.addr, buf);
+    }
+
+    /// Like [`GlobalPtr::rput`], but eligible for per-destination
+    /// aggregation: with aggregation configured (`RUPCXX_AGG` /
+    /// `RuntimeConfig::with_agg`) the write is coalesced into the owner's
+    /// batch buffer and lands at the next flush point — call
+    /// `ctx.agg_fence()` (or `barrier()` on a fault-free fabric) before
+    /// reading it back remotely. Without aggregation this is exactly
+    /// `rput`. Values larger than the fabric's small-put cutoff fall
+    /// through to the direct path.
+    pub fn rput_agg(&self, ctx: &Ctx, value: T) {
+        let size = std::mem::size_of::<T>();
+        debug_assert!(size <= 1024, "rput_agg is for small values");
+        let mut stack = [0u8; 32];
+        let mut heap;
+        let buf: &mut [u8] = if size <= 32 {
+            &mut stack[..size]
+        } else {
+            heap = vec![0u8; size];
+            &mut heap
+        };
+        value.write_to(buf);
+        ctx.fabric().put_buffered(ctx.rank(), self.addr, buf);
     }
 
     /// Bulk one-sided read of `out.len()` consecutive elements starting at
@@ -148,6 +186,20 @@ impl GlobalPtr<u64> {
     /// Remote atomic add; returns the previous value.
     pub fn radd(&self, ctx: &Ctx, value: u64) -> u64 {
         ctx.fabric().add_u64(ctx.rank(), self.addr, value)
+    }
+
+    /// Non-fetching remote xor, eligible for per-destination aggregation
+    /// (the GUPS update loop in aggregated mode). Applied at the next
+    /// flush point; the previous value is not returned — a fetching
+    /// atomic cannot be batched.
+    pub fn rxor_agg(&self, ctx: &Ctx, value: u64) {
+        ctx.fabric().xor_u64_buffered(ctx.rank(), self.addr, value);
+    }
+
+    /// Non-fetching remote add, eligible for aggregation (see
+    /// [`GlobalPtr::rxor_agg`]).
+    pub fn radd_agg(&self, ctx: &Ctx, value: u64) {
+        ctx.fabric().add_u64_buffered(ctx.rank(), self.addr, value);
     }
 }
 
@@ -241,6 +293,51 @@ mod tests {
             assert_eq!(p.rget(ctx), 0b1010);
             assert_eq!(p.radd(ctx, 6), 0b1010);
             assert_eq!(p.rget(ctx), 16);
+            deallocate(ctx, p);
+        });
+    }
+
+    #[test]
+    fn aggregated_ops_apply_at_fence() {
+        use rupcxx_net::AggConfig;
+        // High thresholds: nothing flushes until agg_fence forces it.
+        let cfg = cfg(2).with_agg(AggConfig::new().flush_count(1024));
+        spmd(cfg, |ctx| {
+            let p: GlobalPtr<u64> = if ctx.rank() == 0 {
+                let p = allocate::<u64>(ctx, 0, 3).expect("alloc");
+                for i in 0..3 {
+                    p.offset(i).rput(ctx, 100);
+                }
+                ctx.broadcast(0, [p.addr().offset as u64]);
+                p
+            } else {
+                let a = ctx.broadcast(0, [0u64; 1]);
+                GlobalPtr::from_addr(GlobalAddr::new(0, a[0] as usize))
+            };
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                p.offset(0).rput_agg(ctx, 7);
+                p.offset(1).rxor_agg(ctx, 0b0110);
+                p.offset(2).radd_agg(ctx, 5);
+            }
+            ctx.agg_fence();
+            assert_eq!(p.offset(0).rget(ctx), 7);
+            assert_eq!(p.offset(1).rget(ctx), 100 ^ 0b0110);
+            assert_eq!(p.offset(2).rget(ctx), 105);
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn aggregated_ops_fall_through_when_disabled() {
+        spmd(cfg(2), |ctx| {
+            let p = allocate::<u64>(ctx, ctx.rank(), 1).expect("alloc");
+            p.rput(ctx, 1);
+            // No aggregation configured: applied immediately, no fence.
+            p.rxor_agg(ctx, 0b11);
+            p.radd_agg(ctx, 4);
+            p.rput_agg(ctx, 9);
+            assert_eq!(p.rget(ctx), 9);
             deallocate(ctx, p);
         });
     }

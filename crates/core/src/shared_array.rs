@@ -132,6 +132,15 @@ impl SharedArray<u64> {
     pub fn xor(&self, ctx: &Ctx, i: usize, value: u64) {
         self.ptr(i).rxor(ctx, value);
     }
+
+    /// Non-fetching xor into element `i`, eligible for per-destination
+    /// aggregation — the GUPS update in aggregated mode. Applied at the
+    /// next flush point; call `ctx.agg_fence()` before depending on the
+    /// result. Identical to [`SharedArray::xor`] when aggregation is off.
+    #[inline]
+    pub fn xor_agg(&self, ctx: &Ctx, i: usize, value: u64) {
+        self.ptr(i).rxor_agg(ctx, value);
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +220,25 @@ mod tests {
             }
             ctx.barrier();
             assert_eq!(a.read(ctx, 5), 0xF0);
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn xor_agg_matches_xor_after_fence() {
+        use rupcxx_net::AggConfig;
+        spmd(cfg(2).with_agg(AggConfig::new()), |ctx| {
+            let a = SharedArray::<u64>::new(ctx, 8, 1);
+            ctx.barrier();
+            // Both ranks hammer every element; xor is commutative, so the
+            // result is order-independent.
+            for i in 0..8 {
+                a.xor_agg(ctx, i, 1 << ctx.rank());
+            }
+            ctx.agg_fence();
+            for i in 0..8 {
+                assert_eq!(a.read(ctx, i), 0b11, "element {i}");
+            }
             a.destroy(ctx);
         });
     }

@@ -1,0 +1,671 @@
+//! Per-destination message aggregation (a software "conveyor").
+//!
+//! Fine-grained PGAS traffic — 8-byte remote updates, small RPCs — pays a
+//! full `send_am`/RMA cost per operation on this fabric: an allocation, a
+//! queue push, stats, trace and (under faults) reliable-layer bookkeeping
+//! for every few bytes moved. UPC++ amortizes that per-message injection
+//! overhead by packing handler + args into contiguous buffers (paper §IV);
+//! DASH/DART report per-destination coalescing as the single largest win
+//! for irregular workloads. This module is that layer:
+//!
+//! * each rank keeps one small coalescing buffer **per destination** into
+//!   which buffered operations are packed as compact frames
+//!   ([`Frame`]: handler RPCs, `xor`/`add` word updates, small puts);
+//! * a buffer flushes as **one** [`AmPayload::Batch`] active message when
+//!   it crosses the configured byte or frame-count threshold
+//!   ([`AggConfig`]), or when the runtime force-flushes at a completion
+//!   point (`advance()`, `fence()`, `barrier()`, `async_copy_fence`);
+//! * the receiver pops the batch from its inbox **once** and dispatches
+//!   the frames in order, so queue, allocation, stats and trace costs are
+//!   paid per batch, not per operation;
+//! * the reliable/fault layer sees the batch as a single sequenced frame:
+//!   a retransmit redelivers the whole batch exactly once, and per-link
+//!   FIFO order is preserved — [`Fabric::send_am`] flushes the
+//!   destination's buffer before injecting any direct message.
+//!
+//! Without an [`AggConfig`] installed the layer is zero-cost: every
+//! buffered entry point falls through to the direct operation after one
+//! untaken branch, and no buffers are allocated.
+//!
+//! **Consistency:** buffered operations complete at the *next flush
+//! point*, not at the call. Mixing buffered updates with direct RMA on
+//! the same location without an intervening flush (`fence`/`barrier`)
+//! is unordered, exactly like unsynchronized conflicting accesses under
+//! the paper's relaxed memory model (§III-F).
+
+use crate::fabric::{AmPayload, Fabric, GlobalAddr};
+use crate::Rank;
+use rupcxx_trace::EventKind;
+use rupcxx_util::sync::Mutex;
+use rupcxx_util::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregation thresholds (the `RUPCXX_AGG=bytes,count` knobs).
+///
+/// A per-destination buffer flushes when it holds `flush_bytes` of packed
+/// frames **or** `flush_count` frames, whichever comes first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggConfig {
+    /// Flush a destination buffer once it holds this many packed bytes.
+    pub flush_bytes: usize,
+    /// Flush a destination buffer once it holds this many frames.
+    pub flush_count: usize,
+}
+
+impl Default for AggConfig {
+    fn default() -> Self {
+        AggConfig {
+            flush_bytes: 4096,
+            flush_count: 64,
+        }
+    }
+}
+
+impl AggConfig {
+    /// Default thresholds (4096 bytes / 64 frames).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: set the byte threshold.
+    pub fn flush_bytes(mut self, bytes: usize) -> Self {
+        self.flush_bytes = bytes.max(1);
+        self
+    }
+
+    /// Builder: set the frame-count threshold.
+    pub fn flush_count(mut self, count: usize) -> Self {
+        self.flush_count = count.max(1);
+        self
+    }
+
+    /// Read a config from the `RUPCXX_AGG` environment variable.
+    ///
+    /// * unset, empty, `off` or `0` — aggregation disabled (`None`);
+    /// * `on` or `1` — enabled with the default thresholds;
+    /// * `BYTES,COUNT` (e.g. `RUPCXX_AGG=4096,64`) — explicit thresholds.
+    ///
+    /// A malformed value prints a notice to stderr and disables the
+    /// layer, mirroring `RUPCXX_FAULTS`/`RUPCXX_TRACE`.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("RUPCXX_AGG").ok()?;
+        match Self::parse(&raw) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("(RUPCXX_AGG {raw:?} ignored: {e})");
+                None
+            }
+        }
+    }
+
+    /// Parse an `RUPCXX_AGG` value (see [`AggConfig::from_env`]).
+    pub fn parse(raw: &str) -> Result<Option<Self>, String> {
+        let raw = raw.trim();
+        match raw {
+            "" | "off" | "0" => return Ok(None),
+            "on" | "1" => return Ok(Some(Self::default())),
+            _ => {}
+        }
+        let (bytes, count) = raw
+            .split_once(',')
+            .ok_or_else(|| "expected off | on | BYTES,COUNT".to_string())?;
+        let bytes: usize = bytes
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad byte threshold {:?}", bytes.trim()))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad frame-count threshold {:?}", count.trim()))?;
+        if bytes == 0 || count == 0 {
+            return Err("thresholds must be >= 1".into());
+        }
+        Ok(Some(AggConfig {
+            flush_bytes: bytes,
+            flush_count: count,
+        }))
+    }
+}
+
+/// Largest `data` accepted by [`Fabric::put_buffered`] as a frame; larger
+/// puts are not "fine-grained" and go out directly.
+pub const AGG_MAX_PUT: usize = 1024;
+
+/// One destination's coalescing buffer.
+#[derive(Default)]
+struct AggBuf {
+    /// Frames currently packed in `bytes`.
+    count: u32,
+    /// Packed frame encoding (see the `TAG_*` constants).
+    bytes: Vec<u8>,
+}
+
+/// Per-endpoint aggregation state: config + one lazy buffer per
+/// destination. Allocated only when the fabric has an [`AggConfig`]
+/// (the `Vec`s inside stay unallocated until a destination is first
+/// used).
+pub(crate) struct AggState {
+    cfg: AggConfig,
+    bufs: Box<[Mutex<AggBuf>]>,
+    /// Total frames currently buffered across all destinations — a cheap
+    /// gate so `flush_agg` in the progress engine's hot loop is one
+    /// relaxed load when nothing is pending.
+    buffered: AtomicU64,
+}
+
+impl AggState {
+    pub(crate) fn new(ranks: usize, cfg: AggConfig) -> Self {
+        AggState {
+            cfg,
+            bufs: (0..ranks).map(|_| Mutex::new(AggBuf::default())).collect(),
+            buffered: AtomicU64::new(0),
+        }
+    }
+}
+
+const TAG_HANDLER: u8 = 0;
+const TAG_XOR: u8 = 1;
+const TAG_ADD: u8 = 2;
+const TAG_PUT: u8 = 3;
+
+/// One unpacked frame of an [`AmPayload::Batch`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// A registered-handler RPC (dispatched through the runtime's
+    /// handler table, like a direct `AmPayload::Handler`).
+    Handler {
+        /// Registered handler id.
+        id: u16,
+        /// Packed arguments.
+        args: &'a [u8],
+    },
+    /// An atomic xor on an aligned word of the destination's segment.
+    Xor {
+        /// Byte offset into the destination segment.
+        offset: usize,
+        /// Operand.
+        value: u64,
+    },
+    /// An atomic add on an aligned word of the destination's segment.
+    Add {
+        /// Byte offset into the destination segment.
+        offset: usize,
+        /// Operand.
+        value: u64,
+    },
+    /// A small contiguous write into the destination's segment.
+    Put {
+        /// Byte offset into the destination segment.
+        offset: usize,
+        /// Bytes to write.
+        data: &'a [u8],
+    },
+}
+
+fn encode_handler(buf: &mut Vec<u8>, id: u16, args: &[u8]) {
+    buf.push(TAG_HANDLER);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(args.len() as u32).to_le_bytes());
+    buf.extend_from_slice(args);
+}
+
+fn encode_word(buf: &mut Vec<u8>, tag: u8, offset: usize, value: u64) {
+    buf.push(tag);
+    buf.extend_from_slice(&(offset as u64).to_le_bytes());
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn encode_put(buf: &mut Vec<u8>, offset: usize, data: &[u8]) {
+    buf.push(TAG_PUT);
+    buf.extend_from_slice(&(offset as u64).to_le_bytes());
+    buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    buf.extend_from_slice(data);
+}
+
+/// In-order iterator over the frames packed in a batch payload.
+///
+/// The encoding is produced and consumed inside this crate, so a
+/// malformed buffer is an internal invariant violation and panics.
+pub struct BatchReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> BatchReader<'a> {
+    /// Iterate the frames of `frames` (an [`AmPayload::Batch`] body).
+    pub fn new(frames: &'a [u8]) -> Self {
+        BatchReader { buf: frames }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        head
+    }
+
+    fn take_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn take_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+}
+
+impl<'a> Iterator for BatchReader<'a> {
+    type Item = Frame<'a>;
+
+    fn next(&mut self) -> Option<Frame<'a>> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let tag = self.take(1)[0];
+        Some(match tag {
+            TAG_HANDLER => {
+                let id = u16::from_le_bytes(self.take(2).try_into().unwrap());
+                let len = self.take_u32() as usize;
+                Frame::Handler {
+                    id,
+                    args: self.take(len),
+                }
+            }
+            TAG_XOR => Frame::Xor {
+                offset: self.take_u64() as usize,
+                value: self.take_u64(),
+            },
+            TAG_ADD => Frame::Add {
+                offset: self.take_u64() as usize,
+                value: self.take_u64(),
+            },
+            TAG_PUT => {
+                let offset = self.take_u64() as usize;
+                let len = self.take_u32() as usize;
+                Frame::Put {
+                    offset,
+                    data: self.take(len),
+                }
+            }
+            other => panic!("batch frame with unknown tag {other}"),
+        })
+    }
+}
+
+impl Fabric {
+    /// True when this initiator has an aggregation layer installed.
+    pub fn agg_enabled(&self, initiator: Rank) -> bool {
+        self.endpoints[initiator].agg.is_some()
+    }
+
+    /// Pack one frame for `dst` into the initiator's buffer, flushing it
+    /// if a threshold is crossed. Caller guarantees aggregation is on and
+    /// `dst != initiator`.
+    fn agg_push(&self, initiator: Rank, dst: Rank, encode: impl FnOnce(&mut Vec<u8>)) {
+        let ep = &self.endpoints[initiator];
+        let agg = ep.agg.as_ref().expect("agg_push without aggregation");
+        let flush = {
+            let mut buf = agg.bufs[dst].lock();
+            encode(&mut buf.bytes);
+            buf.count += 1;
+            buf.count as usize >= agg.cfg.flush_count || buf.bytes.len() >= agg.cfg.flush_bytes
+        };
+        agg.buffered.fetch_add(1, Ordering::Relaxed);
+        ep.stats.agg_ops.fetch_add(1, Ordering::Relaxed);
+        if flush {
+            self.flush_agg_to(initiator, dst);
+        }
+    }
+
+    /// Flush the initiator's buffer for one destination as a single
+    /// [`AmPayload::Batch`]. Returns whether anything was sent.
+    pub fn flush_agg_to(&self, initiator: Rank, dst: Rank) -> bool {
+        let ep = &self.endpoints[initiator];
+        let Some(agg) = &ep.agg else { return false };
+        let (count, bytes) = {
+            let mut buf = agg.bufs[dst].lock();
+            if buf.count == 0 {
+                return false;
+            }
+            (
+                std::mem::take(&mut buf.count),
+                std::mem::take(&mut buf.bytes),
+            )
+        };
+        agg.buffered.fetch_sub(count as u64, Ordering::Relaxed);
+        ep.stats.agg_batches.fetch_add(1, Ordering::Relaxed);
+        ep.trace
+            .instant(EventKind::BatchFlush, dst as i32, count as u64);
+        self.send_am(
+            initiator,
+            dst,
+            AmPayload::Batch {
+                count,
+                frames: Bytes::from(bytes),
+            },
+        );
+        true
+    }
+
+    /// Force-flush every destination buffer of `initiator`; returns the
+    /// number of batches sent. With aggregation off — or nothing buffered
+    /// — this is one branch (plus one relaxed load).
+    pub fn flush_agg(&self, initiator: Rank) -> usize {
+        let ep = &self.endpoints[initiator];
+        let Some(agg) = &ep.agg else { return 0 };
+        if agg.buffered.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        (0..self.endpoints.len())
+            .filter(|&dst| self.flush_agg_to(initiator, dst))
+            .count()
+    }
+
+    /// Buffered registered-handler RPC: packed as a frame when
+    /// aggregation is on and `dst` is remote, otherwise a direct
+    /// [`Fabric::send_am`].
+    pub fn am_buffered(&self, initiator: Rank, dst: Rank, id: u16, args: &[u8]) {
+        if self.endpoints[initiator].agg.is_some() && dst != initiator {
+            self.agg_push(initiator, dst, |b| encode_handler(b, id, args));
+        } else {
+            self.send_am(
+                initiator,
+                dst,
+                AmPayload::Handler {
+                    id,
+                    args: Bytes::copy_from_slice(args),
+                },
+            );
+        }
+    }
+
+    /// Buffered remote xor (no fetched result — the update is applied by
+    /// the destination's progress engine at delivery).
+    pub fn xor_u64_buffered(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
+        if self.endpoints[initiator].agg.is_some() && dst.rank != initiator {
+            self.agg_push(initiator, dst.rank, |b| {
+                encode_word(b, TAG_XOR, dst.offset, value)
+            });
+        } else {
+            let _ = self.xor_u64(initiator, dst, value);
+        }
+    }
+
+    /// Buffered remote add (no fetched result).
+    pub fn add_u64_buffered(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
+        if self.endpoints[initiator].agg.is_some() && dst.rank != initiator {
+            self.agg_push(initiator, dst.rank, |b| {
+                encode_word(b, TAG_ADD, dst.offset, value)
+            });
+        } else {
+            let _ = self.add_u64(initiator, dst, value);
+        }
+    }
+
+    /// Buffered small put. Payloads over [`AGG_MAX_PUT`] bytes (or local
+    /// / unaggregated ones) go out as a direct one-sided put.
+    pub fn put_buffered(&self, initiator: Rank, dst: GlobalAddr, data: &[u8]) {
+        if self.endpoints[initiator].agg.is_some()
+            && dst.rank != initiator
+            && data.len() <= AGG_MAX_PUT
+        {
+            self.agg_push(initiator, dst.rank, |b| encode_put(b, dst.offset, data));
+        } else {
+            self.put(initiator, dst, data);
+        }
+    }
+
+    /// Apply one segment-level frame on `me`'s own segment (the receiver
+    /// side of batch dispatch). Returns `false` for [`Frame::Handler`],
+    /// which the caller must route through its handler registry.
+    pub fn apply_frame(&self, me: Rank, frame: &Frame<'_>) -> bool {
+        let seg = &self.endpoints[me].segment;
+        match frame {
+            Frame::Xor { offset, value } => {
+                seg.fetch_xor_u64(*offset, *value);
+            }
+            Frame::Add { offset, value } => {
+                seg.fetch_add_u64(*offset, *value);
+            }
+            Frame::Put { offset, data } => {
+                seg.write_bytes(*offset, data);
+            }
+            Frame::Handler { .. } => return false,
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{AmMessage, FabricConfig};
+    use rupcxx_trace::TraceConfig;
+    use std::sync::Arc;
+
+    fn agg_fabric(ranks: usize, cfg: AggConfig) -> Arc<Fabric> {
+        Fabric::new(FabricConfig {
+            ranks,
+            segment_bytes: 4096,
+            simnet: None,
+            trace: TraceConfig::off(),
+            faults: None,
+            agg: Some(cfg),
+        })
+    }
+
+    /// Receiver-side dispatch for tests: pop everything, apply segment
+    /// frames, return handler ids in arrival order.
+    fn dispatch_all(f: &Fabric, me: Rank) -> Vec<u16> {
+        let mut ids = Vec::new();
+        for AmMessage { payload, .. } in f.endpoint(me).drain() {
+            match payload {
+                AmPayload::Handler { id, .. } => ids.push(id),
+                AmPayload::Batch { frames, count } => {
+                    let mut seen = 0;
+                    for frame in BatchReader::new(&frames) {
+                        seen += 1;
+                        if let Frame::Handler { id, .. } = frame {
+                            ids.push(id);
+                        } else {
+                            assert!(f.apply_frame(me, &frame));
+                        }
+                    }
+                    assert_eq!(seen, count, "batch count must match its frames");
+                }
+                AmPayload::Task(_) => panic!("unexpected task payload"),
+            }
+        }
+        ids
+    }
+
+    #[test]
+    fn parse_env_forms() {
+        assert_eq!(AggConfig::parse("off"), Ok(None));
+        assert_eq!(AggConfig::parse("0"), Ok(None));
+        assert_eq!(AggConfig::parse(""), Ok(None));
+        assert_eq!(AggConfig::parse("on"), Ok(Some(AggConfig::default())));
+        assert_eq!(AggConfig::parse("1"), Ok(Some(AggConfig::default())));
+        assert_eq!(
+            AggConfig::parse(" 8192 , 32 "),
+            Ok(Some(AggConfig {
+                flush_bytes: 8192,
+                flush_count: 32
+            }))
+        );
+        assert!(AggConfig::parse("many").is_err());
+        assert!(AggConfig::parse("8192").is_err());
+        assert!(AggConfig::parse("0,64").is_err());
+        assert!(AggConfig::parse("x,64").is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let mut buf = Vec::new();
+        encode_handler(&mut buf, 7, &[1, 2, 3]);
+        encode_word(&mut buf, TAG_XOR, 40, 0xDEAD);
+        encode_word(&mut buf, TAG_ADD, 48, 5);
+        encode_put(&mut buf, 64, &[9; 16]);
+        encode_handler(&mut buf, 8, &[]);
+        let got: Vec<Frame<'_>> = BatchReader::new(&buf).collect();
+        assert_eq!(
+            got,
+            vec![
+                Frame::Handler {
+                    id: 7,
+                    args: &[1, 2, 3]
+                },
+                Frame::Xor {
+                    offset: 40,
+                    value: 0xDEAD
+                },
+                Frame::Add {
+                    offset: 48,
+                    value: 5
+                },
+                Frame::Put {
+                    offset: 64,
+                    data: &[9; 16]
+                },
+                Frame::Handler { id: 8, args: &[] },
+            ]
+        );
+    }
+
+    #[test]
+    fn count_threshold_flushes_one_batch() {
+        let f = agg_fabric(2, AggConfig::new().flush_count(4));
+        for i in 0..4 {
+            f.xor_u64_buffered(0, GlobalAddr::new(1, 8 * i), 1 << i);
+        }
+        // The 4th frame crossed the threshold: exactly one wire message.
+        let c = f.endpoint(0).stats.snapshot();
+        assert_eq!(c.agg_ops, 4);
+        assert_eq!(c.agg_batches, 1);
+        assert_eq!(c.ams_sent, 1);
+        assert_eq!(f.endpoint(1).pending(), 1);
+        assert!(dispatch_all(&f, 1).is_empty());
+        for i in 0..4 {
+            assert_eq!(f.endpoint(1).segment.load_u64(8 * i), 1 << i);
+        }
+    }
+
+    #[test]
+    fn byte_threshold_flushes() {
+        let f = agg_fabric(2, AggConfig::new().flush_bytes(64).flush_count(1000));
+        // 17-byte xor frames: the 4th crosses 64 bytes.
+        for _ in 0..4 {
+            f.add_u64_buffered(0, GlobalAddr::new(1, 0), 1);
+        }
+        assert_eq!(f.endpoint(0).stats.snapshot().agg_batches, 1);
+        assert!(dispatch_all(&f, 1).is_empty());
+        assert_eq!(f.endpoint(1).segment.load_u64(0), 4);
+    }
+
+    #[test]
+    fn flush_agg_sends_partial_buffers_per_destination() {
+        let f = agg_fabric(3, AggConfig::default());
+        f.xor_u64_buffered(0, GlobalAddr::new(1, 0), 3);
+        f.add_u64_buffered(0, GlobalAddr::new(2, 8), 4);
+        f.put_buffered(0, GlobalAddr::new(2, 16), &[0xAB; 8]);
+        assert_eq!(f.endpoint(1).pending(), 0, "below threshold: nothing sent");
+        assert_eq!(f.flush_agg(0), 2, "one batch per buffered destination");
+        assert_eq!(f.flush_agg(0), 0, "idempotent once empty");
+        assert!(dispatch_all(&f, 1).is_empty());
+        assert!(dispatch_all(&f, 2).is_empty());
+        assert_eq!(f.endpoint(1).segment.load_u64(0), 3);
+        assert_eq!(f.endpoint(2).segment.load_u64(8), 4);
+        let mut got = [0u8; 8];
+        f.endpoint(2).segment.read_bytes(16, &mut got);
+        assert_eq!(got, [0xAB; 8]);
+        let c = f.endpoint(0).stats.snapshot();
+        assert_eq!((c.agg_ops, c.agg_batches), (3, 2));
+    }
+
+    #[test]
+    fn local_ops_and_oversize_puts_fall_through() {
+        let f = agg_fabric(2, AggConfig::default());
+        // Local buffered ops never buffer (they are already "delivered").
+        f.xor_u64_buffered(0, GlobalAddr::new(0, 0), 7);
+        assert_eq!(f.endpoint(0).segment.load_u64(0), 7);
+        // A put over AGG_MAX_PUT is not fine-grained: direct one-sided.
+        let big = vec![1u8; AGG_MAX_PUT + 1];
+        f.put_buffered(0, GlobalAddr::new(1, 0), &big);
+        let c = f.endpoint(0).stats.snapshot();
+        assert_eq!(c.agg_ops, 0);
+        assert_eq!(c.local_ops, 1);
+        assert_eq!(c.puts, 1);
+        assert_eq!(c.put_bytes, big.len() as u64);
+    }
+
+    #[test]
+    fn disabled_layer_falls_through_with_identical_counts() {
+        let plain = Fabric::new(FabricConfig {
+            ranks: 2,
+            segment_bytes: 4096,
+            simnet: None,
+            trace: TraceConfig::off(),
+            faults: None,
+            agg: None,
+        });
+        assert!(!plain.agg_enabled(0));
+        plain.xor_u64_buffered(0, GlobalAddr::new(1, 0), 9);
+        plain.add_u64_buffered(0, GlobalAddr::new(1, 8), 2);
+        plain.put_buffered(0, GlobalAddr::new(1, 16), &[1, 2, 3]);
+        plain.am_buffered(0, 1, 3, &[4, 5]);
+        assert_eq!(plain.flush_agg(0), 0);
+        let c = plain.endpoint(0).stats.snapshot();
+        // Exactly the direct-path counts: 2 word updates + 1 put + 1 AM.
+        assert_eq!((c.agg_ops, c.agg_batches), (0, 0));
+        assert_eq!(c.puts, 3);
+        assert_eq!(c.ams_sent, 1);
+        assert_eq!(plain.endpoint(1).segment.load_u64(0), 9);
+        assert_eq!(plain.endpoint(1).segment.load_u64(8), 2);
+    }
+
+    #[test]
+    fn direct_am_flushes_destination_buffer_first() {
+        // Per-link FIFO across the layers: frames buffered before a
+        // direct AM must be delivered before it.
+        let f = agg_fabric(2, AggConfig::default());
+        f.am_buffered(0, 1, 10, &[]);
+        f.am_buffered(0, 1, 11, &[]);
+        f.send_am(
+            0,
+            1,
+            AmPayload::Handler {
+                id: 12,
+                args: Bytes::new(),
+            },
+        );
+        assert_eq!(dispatch_all(&f, 1), vec![10, 11, 12]);
+        let c = f.endpoint(0).stats.snapshot();
+        assert_eq!(c.agg_batches, 1, "the direct send forced the flush");
+        assert_eq!(c.ams_sent, 2, "one batch + one direct AM");
+    }
+
+    #[test]
+    fn batch_is_one_reliable_frame_under_total_duplication() {
+        // Every wire frame is duplicated: the dedup window must discard
+        // the duplicate *batch* so its updates apply exactly once.
+        let f = Fabric::new(FabricConfig {
+            ranks: 2,
+            segment_bytes: 4096,
+            simnet: None,
+            trace: TraceConfig::off(),
+            faults: Some(crate::faults::FaultPlan::new(3).dup(1.0)),
+            agg: Some(AggConfig::new().flush_count(8)),
+        });
+        for _ in 0..8 {
+            f.add_u64_buffered(0, GlobalAddr::new(1, 0), 1);
+        }
+        for _ in 0..1000 {
+            f.pump_incoming(1);
+            assert!(dispatch_all(&f, 1).is_empty());
+            if f.links_quiescent(1) && f.endpoint(1).pending() == 0 {
+                break;
+            }
+        }
+        assert_eq!(f.endpoint(1).segment.load_u64(0), 8, "exactly once");
+        let c = f.total_counts();
+        assert_eq!(c.agg_batches, 1);
+        assert_eq!(c.dup_arrivals, 1, "one duplicate of the one batch");
+    }
+}

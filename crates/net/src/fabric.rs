@@ -10,6 +10,7 @@
 //! the destination's progress engine (`rupcxx-runtime`'s `advance()`), which
 //! mirrors GASNet's AM + polling model.
 
+use crate::aggregate::{AggConfig, AggState};
 use crate::faults::FaultPlan;
 use crate::reliable::{AmChannel, PeerUnreachable};
 use crate::segment::Segment;
@@ -62,6 +63,18 @@ pub enum AmPayload {
     },
     /// An opaque boxed task — the in-process shortcut for closure `async`s.
     Task(Box<dyn FnOnce() + Send + 'static>),
+    /// A coalesced batch of fine-grained operations from the
+    /// per-destination aggregation layer (see [`crate::aggregate`]): one
+    /// wire message carrying `count` packed frames, unpacked in order by
+    /// the destination in a single inbox pop. The reliable layer treats
+    /// it as one sequenced frame, so a retransmit redelivers the whole
+    /// batch exactly once.
+    Batch {
+        /// Packed frames (decode with [`crate::aggregate::BatchReader`]).
+        frames: Bytes,
+        /// Number of frames packed into `frames`.
+        count: u32,
+    },
 }
 
 impl std::fmt::Debug for AmPayload {
@@ -73,6 +86,11 @@ impl std::fmt::Debug for AmPayload {
                 .field("args_len", &args.len())
                 .finish(),
             AmPayload::Task(_) => f.write_str("Task(..)"),
+            AmPayload::Batch { frames, count } => f
+                .debug_struct("Batch")
+                .field("count", count)
+                .field("bytes", &frames.len())
+                .finish(),
         }
     }
 }
@@ -98,16 +116,26 @@ pub struct Endpoint {
     /// Reliable-delivery state for this rank's incoming links; allocated
     /// only when the fabric has a fault plan.
     pub(crate) reliable: Option<AmChannel>,
+    /// Per-destination aggregation buffers for operations *initiated* by
+    /// this rank; allocated only when the fabric has an [`AggConfig`].
+    pub(crate) agg: Option<AggState>,
 }
 
 impl Endpoint {
-    fn new(ranks: usize, segment_bytes: usize, trace: &TraceConfig, faulty: bool) -> Self {
+    fn new(
+        ranks: usize,
+        segment_bytes: usize,
+        trace: &TraceConfig,
+        faulty: bool,
+        agg: Option<&AggConfig>,
+    ) -> Self {
         Endpoint {
             segment: Segment::new(segment_bytes),
             inbox: SegQueue::new(),
             stats: CommStats::default(),
             trace: RankTrace::new(trace),
             reliable: faulty.then(|| AmChannel::new(ranks)),
+            agg: agg.map(|cfg| AggState::new(ranks, cfg.clone())),
         }
     }
 
@@ -214,6 +242,10 @@ pub struct FabricConfig {
     /// None (the default) keeps the exact fault-free fast path: AMs go
     /// straight to the destination inbox, RMA never draws a fate.
     pub faults: Option<FaultPlan>,
+    /// Optional per-destination aggregation thresholds (`RUPCXX_AGG`).
+    /// None (the default) keeps every buffered entry point on the direct
+    /// path after one untaken branch, with no buffers allocated.
+    pub agg: Option<AggConfig>,
 }
 
 impl Default for FabricConfig {
@@ -224,6 +256,7 @@ impl Default for FabricConfig {
             simnet: None,
             trace: TraceConfig::off(),
             faults: None,
+            agg: None,
         }
     }
 }
@@ -253,6 +286,7 @@ impl Fabric {
                     config.segment_bytes,
                     &config.trace,
                     faults.is_some(),
+                    config.agg.as_ref(),
                 )
             })
             .collect();
@@ -344,22 +378,37 @@ impl Fabric {
     }
 
     /// One-sided put: write `data` at `dst`.
+    ///
+    /// An aligned 8-byte payload — the dominant size for shared scalars
+    /// and word-typed arrays — skips the byte-slice machinery (bounds
+    /// check per word, partial-word CAS handling, memcpy through
+    /// `to_le_bytes`) and stores the word directly, like
+    /// [`Fabric::put_u64`].
     pub fn put(&self, initiator: Rank, dst: GlobalAddr, data: &[u8]) {
         let t0 = self.trace_start(initiator);
         self.count_put(initiator, dst.rank, data.len());
         self.wire(initiator, dst.rank, data.len());
-        self.endpoints[dst.rank]
-            .segment
-            .write_bytes(dst.offset, data);
+        let seg = &self.endpoints[dst.rank].segment;
+        if data.len() == 8 && dst.offset.is_multiple_of(8) {
+            seg.store_u64(dst.offset, u64::from_le_bytes(data.try_into().unwrap()));
+        } else {
+            seg.write_bytes(dst.offset, data);
+        }
         self.trace_rma(EventKind::Put, initiator, dst.rank, data.len(), t0);
     }
 
-    /// One-sided get: read `buf.len()` bytes from `src`.
+    /// One-sided get: read `buf.len()` bytes from `src`. Aligned 8-byte
+    /// reads take the same direct-word fast path as [`Fabric::put`].
     pub fn get(&self, initiator: Rank, src: GlobalAddr, buf: &mut [u8]) {
         let t0 = self.trace_start(initiator);
         self.count_get(initiator, src.rank, buf.len());
         self.wire(initiator, src.rank, buf.len());
-        self.endpoints[src.rank].segment.read_bytes(src.offset, buf);
+        let seg = &self.endpoints[src.rank].segment;
+        if buf.len() == 8 && src.offset.is_multiple_of(8) {
+            buf.copy_from_slice(&seg.load_u64(src.offset).to_le_bytes());
+        } else {
+            seg.read_bytes(src.offset, buf);
+        }
         self.trace_rma(EventKind::Get, initiator, src.rank, buf.len(), t0);
     }
 
@@ -504,14 +553,30 @@ impl Fabric {
         let am_bytes = match &payload {
             AmPayload::Handler { args, .. } => args.len(),
             AmPayload::Task(_) => 64, // headers of an opaque task AM
+            AmPayload::Batch { frames, .. } => frames.len(),
         };
+        // Per-link FIFO across the aggregation layer: frames already
+        // buffered for `dst` must reach the wire before this message
+        // (one untaken branch when aggregation is off; batches themselves
+        // are produced by the flush and must not recurse into it).
+        if self.endpoints[initiator].agg.is_some() && !matches!(payload, AmPayload::Batch { .. }) {
+            self.flush_agg_to(initiator, dst);
+        }
         self.wire(initiator, dst, am_bytes);
         let stats = &self.endpoints[initiator].stats;
         stats.ams_sent.fetch_add(1, Ordering::Relaxed);
-        if let AmPayload::Handler { args, .. } = &payload {
-            stats
-                .am_bytes
-                .fetch_add(args.len() as u64, Ordering::Relaxed);
+        match &payload {
+            AmPayload::Handler { args, .. } => {
+                stats
+                    .am_bytes
+                    .fetch_add(args.len() as u64, Ordering::Relaxed);
+            }
+            AmPayload::Batch { frames, .. } => {
+                stats
+                    .am_bytes
+                    .fetch_add(frames.len() as u64, Ordering::Relaxed);
+            }
+            AmPayload::Task(_) => {}
         }
         self.endpoints[initiator]
             .trace
@@ -563,6 +628,7 @@ mod tests {
             simnet: None,
             trace: TraceConfig::off(),
             faults: None,
+            agg: None,
         })
     }
 
@@ -589,6 +655,27 @@ mod tests {
         assert_eq!(c.puts, 0);
         assert_eq!(c.local_ops, 1);
         assert_eq!(f.get_u64(1, GlobalAddr::new(1, 0)), 42);
+    }
+
+    #[test]
+    fn word_sized_put_get_fast_path_matches_slice_path() {
+        let f = fabric(2);
+        // Aligned 8-byte slice ops take the direct-word path; they must
+        // be indistinguishable from the byte path, counts included.
+        let v = 0x0102_0304_0506_0708u64;
+        f.put(0, GlobalAddr::new(1, 16), &v.to_le_bytes());
+        assert_eq!(f.get_u64(0, GlobalAddr::new(1, 16)), v);
+        let mut out = [0u8; 8];
+        f.get(0, GlobalAddr::new(1, 16), &mut out);
+        assert_eq!(out, v.to_le_bytes());
+        // Unaligned 8-byte ops still go through the partial-word path.
+        f.put(0, GlobalAddr::new(1, 3), &v.to_le_bytes());
+        let mut out = [0u8; 8];
+        f.get(0, GlobalAddr::new(1, 3), &mut out);
+        assert_eq!(out, v.to_le_bytes());
+        let c = f.endpoint(0).stats.snapshot();
+        assert_eq!((c.puts, c.gets), (2, 3));
+        assert_eq!((c.put_bytes, c.get_bytes), (16, 24));
     }
 
     #[test]
@@ -675,6 +762,7 @@ mod tests {
             }),
             trace: TraceConfig::off(),
             faults: None,
+            agg: None,
         });
         // Remote word put takes at least the injected latency.
         let t = std::time::Instant::now();
@@ -701,6 +789,7 @@ mod tests {
             }),
             trace: TraceConfig::off(),
             faults: None,
+            agg: None,
         });
         let data = vec![0u8; 512 << 10];
         let t = std::time::Instant::now();
@@ -752,6 +841,7 @@ mod tests {
             simnet: None,
             trace: TraceConfig::off(),
             faults: Some(crate::faults::FaultPlan::new(1)),
+            agg: None,
         });
         assert!(!f.has_faults(), "a no-op plan must not slow the fabric");
         f.send_am(

@@ -21,6 +21,7 @@
 //! written value), which is a faithful, safe-Rust rendering of the paper's
 //! relaxed memory-consistency model (§III-F).
 
+pub mod aggregate;
 pub mod fabric;
 pub mod faults;
 pub mod pod;
@@ -28,6 +29,7 @@ pub mod reliable;
 pub mod segment;
 pub mod stats;
 
+pub use aggregate::{AggConfig, BatchReader, Frame};
 pub use fabric::{AmMessage, AmPayload, Endpoint, Fabric, FabricConfig, GlobalAddr, SimNet};
 pub use faults::{Fate, FaultPlan, LinkRule};
 pub use pod::Pod;

@@ -433,6 +433,7 @@ mod tests {
             simnet: None,
             trace: TraceConfig::off(),
             faults: Some(plan),
+            agg: None,
         })
     }
 

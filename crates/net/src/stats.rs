@@ -40,6 +40,14 @@ pub struct CommStats {
     /// Frames that arrived ahead of a predecessor and were parked in the
     /// receiver's reorder buffer before in-order release (receiver side).
     pub reorders: AtomicU64,
+    /// Logical fine-grained operations absorbed by the per-destination
+    /// aggregation layer (initiator side). Nonzero only when aggregation
+    /// is enabled (`RUPCXX_AGG`) *and* the op was remote.
+    pub agg_ops: AtomicU64,
+    /// Wire frames (batches) the aggregation layer actually injected;
+    /// each batch is one active message carrying `agg_ops / agg_batches`
+    /// logical operations on average (initiator side).
+    pub agg_batches: AtomicU64,
     /// Completed [`CommStats::reset`] calls (see that method's caveats).
     epoch: AtomicU64,
 }
@@ -61,6 +69,8 @@ impl CommStats {
             wire_drops: self.wire_drops.load(Ordering::Relaxed),
             dup_arrivals: self.dup_arrivals.load(Ordering::Relaxed),
             reorders: self.reorders.load(Ordering::Relaxed),
+            agg_ops: self.agg_ops.load(Ordering::Relaxed),
+            agg_batches: self.agg_batches.load(Ordering::Relaxed),
             epoch: self.epoch.load(Ordering::Acquire),
         }
     }
@@ -88,6 +98,8 @@ impl CommStats {
         self.wire_drops.store(0, Ordering::Relaxed);
         self.dup_arrivals.store(0, Ordering::Relaxed);
         self.reorders.store(0, Ordering::Relaxed);
+        self.agg_ops.store(0, Ordering::Relaxed);
+        self.agg_batches.store(0, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -145,6 +157,10 @@ pub struct CommCounts {
     pub dup_arrivals: u64,
     /// Out-of-order arrivals parked before in-order release.
     pub reorders: u64,
+    /// Logical fine-grained operations absorbed by the aggregation layer.
+    pub agg_ops: u64,
+    /// Wire frames (batches) the aggregation layer injected for them.
+    pub agg_batches: u64,
     /// Reset epoch of the endpoint at snapshot time (see
     /// [`CommStats::epoch`]). Not part of equality.
     pub epoch: u64,
@@ -164,6 +180,8 @@ impl PartialEq for CommCounts {
             && self.wire_drops == other.wire_drops
             && self.dup_arrivals == other.dup_arrivals
             && self.reorders == other.reorders
+            && self.agg_ops == other.agg_ops
+            && self.agg_batches == other.agg_batches
     }
 }
 
@@ -198,6 +216,8 @@ impl CommCounts {
             wire_drops: self.wire_drops - earlier.wire_drops,
             dup_arrivals: self.dup_arrivals - earlier.dup_arrivals,
             reorders: self.reorders - earlier.reorders,
+            agg_ops: self.agg_ops - earlier.agg_ops,
+            agg_batches: self.agg_batches - earlier.agg_batches,
         }
     }
 
@@ -218,6 +238,8 @@ impl CommCounts {
             wire_drops: self.wire_drops + other.wire_drops,
             dup_arrivals: self.dup_arrivals + other.dup_arrivals,
             reorders: self.reorders + other.reorders,
+            agg_ops: self.agg_ops + other.agg_ops,
+            agg_batches: self.agg_batches + other.agg_batches,
         }
     }
 }
@@ -335,6 +357,32 @@ mod tests {
         assert_eq!(m.wire_drops, 9);
         assert_eq!(m.dup_arrivals, 4);
         assert_eq!(m.reorders, 4);
+    }
+
+    #[test]
+    fn aggregation_counters_round_trip() {
+        let s = CommStats::default();
+        s.agg_ops.fetch_add(128, Ordering::Relaxed);
+        s.agg_batches.fetch_add(2, Ordering::Relaxed);
+        let base = s.snapshot();
+        assert_eq!(base.agg_ops, 128);
+        assert_eq!(base.agg_batches, 2);
+        s.agg_ops.fetch_add(64, Ordering::Relaxed);
+        s.agg_batches.fetch_add(1, Ordering::Relaxed);
+        let d = s.delta_since(&base);
+        assert_eq!((d.agg_ops, d.agg_batches), (64, 1));
+        let m = base.merged(&s.snapshot());
+        assert_eq!((m.agg_ops, m.agg_batches), (320, 5));
+        s.reset();
+        assert_eq!(s.snapshot(), CommCounts::default());
+        // The aggregation counters participate in equality: coalescing the
+        // same logical traffic into a different number of wire frames must
+        // not compare equal.
+        let a = CommCounts {
+            agg_batches: 1,
+            ..Default::default()
+        };
+        assert_ne!(a, CommCounts::default());
     }
 
     #[test]

@@ -17,6 +17,14 @@ impl Ctx {
         if n == 1 {
             return;
         }
+        // Push out buffered aggregation batches before the first signal.
+        // A target's final barrier signal transitively depends on every
+        // rank's arrival, i.e. it lands in the target's single FIFO inbox
+        // after our batch did — so the target executes the batch before
+        // it can leave the barrier. Under fault injection retransmission
+        // can delay a batch past this ordering — use `agg_fence` for an
+        // applied-at-target guarantee there.
+        self.agg_flush();
         let t0 = self.trace().start();
         let seq = self.shared().next_coll_seq(self.rank());
         let mut round = 0u64;
@@ -37,6 +45,10 @@ impl Ctx {
     /// fabric's synchronous RMA this is a hardware fence plus a poll —
     /// matching UPC's `upc_fence` strength.
     pub fn fence(&self) {
+        // Buffered aggregation ops are "prior operations" too: inject
+        // them before ordering memory (advance() would flush as well,
+        // but only after the hardware fence).
+        self.agg_flush();
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
         self.advance();
     }

@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use rupcxx_net::{FaultPlan, SimNet};
+use rupcxx_net::{AggConfig, FaultPlan, SimNet};
 use rupcxx_trace::TraceConfig;
 
 /// Parameters for an SPMD job.
@@ -27,6 +27,11 @@ pub struct RuntimeConfig {
     /// [`RuntimeConfig::new`] seeds this from `RUPCXX_FAULTS`; override
     /// with [`RuntimeConfig::with_faults`]. None = fault-free fast path.
     pub faults: Option<FaultPlan>,
+    /// Per-destination aggregation thresholds for fine-grained AM/RMA
+    /// traffic. [`RuntimeConfig::new`] seeds this from `RUPCXX_AGG`;
+    /// override with [`RuntimeConfig::with_agg`]. None = aggregation off
+    /// (every buffered entry point falls through to the direct op).
+    pub agg: Option<AggConfig>,
 }
 
 impl RuntimeConfig {
@@ -39,6 +44,7 @@ impl RuntimeConfig {
             simnet: None,
             trace: TraceConfig::from_env(),
             faults: FaultPlan::from_env(),
+            agg: AggConfig::from_env(),
         }
     }
 
@@ -51,6 +57,13 @@ impl RuntimeConfig {
     /// Install a fault-injection plan (overriding `RUPCXX_FAULTS`).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enable per-destination message aggregation (overriding
+    /// `RUPCXX_AGG`).
+    pub fn with_agg(mut self, agg: AggConfig) -> Self {
+        self.agg = Some(agg);
         self
     }
 
@@ -109,5 +122,12 @@ mod tests {
         let plan = c.faults.expect("plan installed");
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.base.drop_ppm, 100_000);
+    }
+
+    #[test]
+    fn with_agg_installs_thresholds() {
+        let c = RuntimeConfig::new(2).with_agg(AggConfig::new().flush_count(8));
+        let agg = c.agg.expect("aggregation installed");
+        assert_eq!(agg.flush_count, 8);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::alloc::OutOfSegmentMemory;
 use crate::shared::Shared;
-use rupcxx_net::{AmMessage, AmPayload, Fabric, GlobalAddr, Rank};
+use rupcxx_net::{AmMessage, AmPayload, BatchReader, Fabric, Frame, GlobalAddr, Rank};
 use rupcxx_trace::{EventKind, RankTrace};
 use rupcxx_util::Bytes;
 use std::sync::atomic::Ordering;
@@ -67,7 +67,11 @@ impl Ctx {
     /// waiters see progress. Without a fault plan the pump is a single
     /// early-return branch.
     pub fn advance(&self) -> usize {
-        let pumped = self.shared.fabric.pump_incoming(self.rank);
+        // Force out any partially filled aggregation buffers first (a
+        // single relaxed load when nothing is buffered), so a rank that
+        // blocks in `wait_until` cannot strand ops a peer is waiting on.
+        let flushed = self.shared.fabric.flush_agg(self.rank);
+        let pumped = self.shared.fabric.pump_incoming(self.rank) + flushed;
         let ep = self.shared.fabric.endpoint(self.rank);
         if !ep.trace.enabled() {
             // Untraced fast path: identical to the pre-trace engine.
@@ -88,6 +92,19 @@ impl Ctx {
             AmPayload::Task(task) => task(),
             AmPayload::Handler { id, args } => {
                 (self.shared.handlers.get(id).clone())(self, msg.src, args)
+            }
+            AmPayload::Batch { frames, .. } => {
+                // One inbox pop carries many logical ops: apply RMA
+                // frames to our segment, dispatch handler frames in the
+                // order the sender buffered them.
+                for frame in BatchReader::new(&frames) {
+                    if let Frame::Handler { id, args } = frame {
+                        let bytes = Bytes::copy_from_slice(args);
+                        (self.shared.handlers.get(id).clone())(self, msg.src, bytes);
+                    } else {
+                        self.shared.fabric.apply_frame(self.rank, &frame);
+                    }
+                }
             }
         }
     }
@@ -171,6 +188,45 @@ impl Ctx {
         self.shared
             .fabric
             .send_am(self.rank, dst, AmPayload::Handler { id, args });
+    }
+
+    /// Like [`Ctx::send_handler`], but eligible for per-destination
+    /// aggregation: when the job was launched with `RuntimeConfig::agg`
+    /// (or `RUPCXX_AGG`), the message is coalesced into `dst`'s batch
+    /// buffer and delivered at the next flush point (threshold overflow,
+    /// [`Ctx::advance`], [`Ctx::barrier`] or [`Ctx::agg_fence`]).
+    /// Without aggregation this is exactly `send_handler`.
+    pub fn send_handler_agg(&self, dst: Rank, id: crate::HandlerId, args: &[u8]) {
+        debug_assert!(
+            (id as usize) < self.shared.handlers.len(),
+            "unknown handler {id}"
+        );
+        self.shared.fabric.am_buffered(self.rank, dst, id, args);
+    }
+
+    /// Flush this rank's aggregation buffers: every buffered op is sent
+    /// now as one batch per destination. Returns the number of batches
+    /// sent (0 when aggregation is off or nothing is buffered).
+    pub fn agg_flush(&self) -> usize {
+        self.shared.fabric.flush_agg(self.rank)
+    }
+
+    /// Completion fence for buffered operations: after this call every
+    /// op this rank buffered has been *applied* at its target, on every
+    /// fabric (fault-injected ones included).
+    ///
+    /// Flush, then a barrier (so all ranks have pushed their batches),
+    /// then wait until our own links are quiescent and our inbox is
+    /// drained, then a closing barrier (so no rank proceeds before all
+    /// batches everywhere have executed).
+    pub fn agg_fence(&self) {
+        self.agg_flush();
+        self.barrier();
+        self.wait_until(|| {
+            self.shared.fabric.links_quiescent(self.rank)
+                && self.shared.fabric.endpoint(self.rank).pending() == 0
+        });
+        self.barrier();
     }
 
     /// Allocate `bytes` bytes of globally addressable memory on `rank`

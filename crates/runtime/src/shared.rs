@@ -1,7 +1,7 @@
 //! Process-wide state shared by all rank threads of one SPMD job.
 
 use crate::alloc::SegAllocator;
-use rupcxx_net::{Fabric, FabricConfig, FaultPlan, Rank, SimNet};
+use rupcxx_net::{AggConfig, Fabric, FabricConfig, FaultPlan, Rank, SimNet};
 use rupcxx_trace::TraceConfig;
 use rupcxx_util::sync::Mutex;
 use rupcxx_util::Bytes;
@@ -156,12 +156,14 @@ impl Shared {
         handlers: HandlerRegistry,
         trace: TraceConfig,
     ) -> Arc<Self> {
-        Self::new_full(ranks, segment_bytes, simnet, handlers, trace, None)
+        Self::new_full(ranks, segment_bytes, simnet, handlers, trace, None, None)
     }
 
     /// The full constructor: [`Shared::new_traced`] plus an optional
     /// deterministic fault-injection plan (see `rupcxx-net`'s `faults`
-    /// module; the SPMD launcher passes `RuntimeConfig::faults` through).
+    /// module) and optional per-destination aggregation thresholds (its
+    /// `aggregate` module); the SPMD launcher passes
+    /// `RuntimeConfig::{faults, agg}` through.
     pub fn new_full(
         ranks: usize,
         segment_bytes: usize,
@@ -169,6 +171,7 @@ impl Shared {
         handlers: HandlerRegistry,
         trace: TraceConfig,
         faults: Option<FaultPlan>,
+        agg: Option<AggConfig>,
     ) -> Arc<Self> {
         let fabric = Fabric::new(FabricConfig {
             ranks,
@@ -176,6 +179,7 @@ impl Shared {
             simnet,
             trace,
             faults,
+            agg,
         });
         Arc::new(Shared {
             fabric,

@@ -48,6 +48,7 @@ where
         handlers,
         config.trace.clone(),
         config.faults.clone(),
+        config.agg.clone(),
     );
     let body = &body;
     let progress_stop = std::sync::atomic::AtomicBool::new(false);

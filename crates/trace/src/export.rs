@@ -73,6 +73,8 @@ pub fn summary_table(rows: &[(usize, MetricsSnapshot)]) -> Table {
         "retx",
         "drops",
         "dups",
+        "batches",
+        "occ p50",
     ]);
     let mut add_row = |label: String, m: &MetricsSnapshot| {
         t.row([
@@ -91,6 +93,8 @@ pub fn summary_table(rows: &[(usize, MetricsSnapshot)]) -> Table {
             m.retransmits.to_string(),
             m.wire_drops.to_string(),
             m.dup_arrivals.to_string(),
+            m.batch_frames.count.to_string(),
+            m.batch_frames.p50().to_string(),
         ]);
     };
     let mut total = MetricsSnapshot::default();
@@ -168,5 +172,25 @@ mod tests {
         assert!(rendered.contains("retx"));
         assert!(rendered.contains("drops"));
         assert!(rendered.contains('8'), "aggregate wire_drops 4+4");
+        // Aggregation occupancy columns are always present (zero when
+        // the feature is off).
+        assert!(rendered.contains("batches"));
+        assert!(rendered.contains("occ p50"));
+    }
+
+    #[test]
+    fn summary_reports_batch_occupancy() {
+        let live = crate::metrics::Metrics::default();
+        for frames in [4u64, 16, 64] {
+            live.batch_frames.record(frames);
+        }
+        let t = summary_table(&[(0, live.snapshot())]);
+        let rendered = t.render();
+        assert!(rendered.contains("batches"));
+        // 3 batches flushed; the p50 bound of {4,16,64} is the upper
+        // bound of 16's bucket, 32.
+        let row = rendered.lines().last().unwrap();
+        assert!(row.contains('3'), "batch count column: {row}");
+        assert!(row.contains("32"), "occupancy p50 column: {row}");
     }
 }

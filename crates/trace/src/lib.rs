@@ -250,7 +250,8 @@ impl RankTrace {
             | EventKind::TaskSpawn
             | EventKind::AmRetransmit
             | EventKind::WireDrop
-            | EventKind::AmDup => {}
+            | EventKind::AmDup
+            | EventKind::BatchFlush => {}
         }
         if let Some(ring) = &self.ring {
             ring.push(TraceEvent {
@@ -288,6 +289,8 @@ impl RankTrace {
             EventKind::AmDup => {
                 self.metrics.dup_arrivals.fetch_add(1, Ordering::Relaxed);
             }
+            // `bytes` carries the batch's frame count (occupancy).
+            EventKind::BatchFlush => self.metrics.batch_frames.record(bytes),
             _ => {}
         }
         if let Some(ring) = &self.ring {
@@ -378,6 +381,21 @@ mod tests {
         assert_eq!(evs[0].peer, 1);
         assert_eq!(evs[1].kind, EventKind::TaskSpawn);
         assert_eq!(t.metrics.snapshot().advance_polls, 1);
+    }
+
+    #[test]
+    fn batch_flush_instant_feeds_occupancy_histogram() {
+        let t = RankTrace::new(&TraceConfig::events().with_ring_capacity(16));
+        t.instant(EventKind::BatchFlush, 1, 48);
+        t.instant(EventKind::BatchFlush, 2, 64);
+        let m = t.metrics.snapshot();
+        assert_eq!(m.batch_frames.count, 2);
+        assert_eq!(m.batch_frames.max, 64);
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::BatchFlush);
+        assert_eq!(evs[0].bytes, 48);
+        assert_eq!(evs[0].peer, 1);
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct Metrics {
     pub wire_drops: AtomicU64,
     /// Duplicate arrivals discarded by the dedup window.
     pub dup_arrivals: AtomicU64,
+    /// Batch occupancy: logical frames per flushed aggregation batch
+    /// (count = batches sent; recorded at each `batch_flush`).
+    pub batch_frames: Log2Histogram,
 }
 
 impl Metrics {
@@ -62,6 +65,7 @@ impl Metrics {
             retransmits: self.retransmits.load(Ordering::Relaxed),
             wire_drops: self.wire_drops.load(Ordering::Relaxed),
             dup_arrivals: self.dup_arrivals.load(Ordering::Relaxed),
+            batch_frames: self.batch_frames.snapshot(),
         }
     }
 }
@@ -99,6 +103,8 @@ pub struct MetricsSnapshot {
     pub wire_drops: u64,
     /// Duplicate arrivals discarded by the dedup window.
     pub dup_arrivals: u64,
+    /// Batch occupancy distribution (frames per aggregation batch).
+    pub batch_frames: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -130,6 +136,7 @@ impl MetricsSnapshot {
             retransmits: self.retransmits + other.retransmits,
             wire_drops: self.wire_drops + other.wire_drops,
             dup_arrivals: self.dup_arrivals + other.dup_arrivals,
+            batch_frames: self.batch_frames.merged(&other.batch_frames),
         }
     }
 }

@@ -44,6 +44,9 @@ pub enum EventKind {
     WireDrop,
     /// Duplicate arrival discarded by the dedup window (instant).
     AmDup,
+    /// Aggregation buffer flushed as one batch AM (instant; `bytes` =
+    /// number of logical frames the batch carries, `peer` = destination).
+    BatchFlush,
 }
 
 impl EventKind {
@@ -63,6 +66,7 @@ impl EventKind {
             EventKind::AmRetransmit => "am_retransmit",
             EventKind::WireDrop => "wire_drop",
             EventKind::AmDup => "am_dup",
+            EventKind::BatchFlush => "batch_flush",
         }
     }
 
@@ -70,7 +74,10 @@ impl EventKind {
     pub fn category(self) -> &'static str {
         match self {
             EventKind::Put | EventKind::Get => "rma",
-            EventKind::AmSend | EventKind::AmHandle | EventKind::TaskSpawn => "am",
+            EventKind::AmSend
+            | EventKind::AmHandle
+            | EventKind::TaskSpawn
+            | EventKind::BatchFlush => "am",
             EventKind::Advance => "progress",
             EventKind::Barrier
             | EventKind::EventWait
@@ -89,6 +96,7 @@ impl EventKind {
                 | EventKind::AmRetransmit
                 | EventKind::WireDrop
                 | EventKind::AmDup
+                | EventKind::BatchFlush
         )
     }
 }

@@ -129,8 +129,17 @@ impl<T> SegQueue<T> {
     /// is consistent: items pushed concurrently are either all-in or
     /// all-after, never observed half-drained. Tests asserting on inbox
     /// contents use this to avoid racy observations.
+    ///
+    /// The output is reserved to the exact queue length inside the
+    /// critical section, so draining a large inbox is one allocation and
+    /// one pass — no grow-and-move reallocation, and (unlike a
+    /// `VecDeque → Vec` conversion) no in-place rotation of a wrapped
+    /// ring buffer.
     pub fn drain(&self) -> Vec<T> {
-        std::mem::take(&mut *self.inner.lock()).into()
+        let mut q = self.inner.lock();
+        let mut out = Vec::with_capacity(q.len());
+        out.extend(q.drain(..));
+        out
     }
 }
 

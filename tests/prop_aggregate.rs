@@ -1,0 +1,188 @@
+//! Property tests of the per-destination aggregation layer (proptest):
+//! for an arbitrary bidirectional schedule mixing buffered fine-grained
+//! ops (handler AMs, xor/add words, small puts) with direct active
+//! messages, an aggregated fabric delivers exactly the same handler
+//! sequence per rank and ends with exactly the same segment contents as
+//! an unaggregated fabric — including under drop/dup fault injection,
+//! where each batch is one sequenced reliable frame. Failing schedules
+//! are shrunk with `shrink_vec` to a 1-minimal counterexample.
+
+use rupcxx_net::{
+    AggConfig, AmPayload, BatchReader, Fabric, FabricConfig, FaultPlan, Frame, GlobalAddr,
+};
+use rupcxx_trace::TraceConfig;
+use rupcxx_util::prop as proptest;
+use rupcxx_util::prop::prelude::*;
+use rupcxx_util::Bytes;
+use std::sync::Arc;
+
+/// Words of segment state the schedule may touch, per rank.
+const WORDS: usize = 32;
+
+/// One schedule entry: `reverse` selects the 1→0 direction, `kind`
+/// selects the operation, `x`/`y` parameterize it.
+type Op = (bool, u8, u16, u16);
+
+fn fabric(agg: Option<AggConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> {
+    Fabric::new(FabricConfig {
+        ranks: 2,
+        segment_bytes: WORDS * 8,
+        simnet: None,
+        trace: TraceConfig::off(),
+        faults,
+        agg,
+    })
+}
+
+/// Issue one schedule entry on `f`.
+fn issue(f: &Fabric, &(reverse, kind, x, y): &Op) {
+    let (src, dst) = if reverse { (1, 0) } else { (0, 1) };
+    let addr = GlobalAddr::new(dst, (x as usize % WORDS) * 8);
+    let value = y as u64 + 1;
+    match kind % 5 {
+        0 => f.am_buffered(src, dst, x, &y.to_le_bytes()),
+        1 => f.xor_u64_buffered(src, addr, value),
+        2 => f.add_u64_buffered(src, addr, value),
+        3 => f.put_buffered(src, addr, &value.to_le_bytes()),
+        // Direct AM interleaved with buffered traffic: must flush the
+        // destination's buffer first to preserve per-link order.
+        _ => f.send_am(
+            src,
+            dst,
+            AmPayload::Handler {
+                id: x,
+                args: Bytes::copy_from_slice(&y.to_le_bytes()),
+            },
+        ),
+    }
+}
+
+/// Pump + drain `me` until quiescent, recording handler ids in delivery
+/// order (batched handler frames unpacked in place, RMA frames applied).
+/// `None` on a hang or a fabric failure.
+fn drain_rank(f: &Fabric, me: usize) -> Option<Vec<u16>> {
+    let mut got = Vec::new();
+    for _ in 0..100_000 {
+        f.pump_incoming(me);
+        for m in f.endpoint(me).drain() {
+            match m.payload {
+                AmPayload::Handler { id, .. } => got.push(id),
+                AmPayload::Batch { frames, .. } => {
+                    for frame in BatchReader::new(&frames) {
+                        if let Frame::Handler { id, .. } = frame {
+                            got.push(id);
+                        } else {
+                            f.apply_frame(me, &frame);
+                        }
+                    }
+                }
+                AmPayload::Task(_) => unreachable!("no tasks in this schedule"),
+            }
+        }
+        if f.has_failed() {
+            return None;
+        }
+        if f.links_quiescent(me) && f.endpoint(me).pending() == 0 {
+            return Some(got);
+        }
+    }
+    None
+}
+
+/// Run `sched` on `f`: issue every op, flush, drain both ranks. Returns
+/// the per-rank handler sequences and both segments' word contents.
+#[allow(clippy::type_complexity)]
+fn run(f: &Fabric, sched: &[Op]) -> Option<([Vec<u16>; 2], [Vec<u64>; 2])> {
+    for op in sched {
+        issue(f, op);
+    }
+    f.flush_agg(0);
+    f.flush_agg(1);
+    let (got0, got1) = (drain_rank(f, 0)?, drain_rank(f, 1)?);
+    let words = |rank: usize| -> Vec<u64> {
+        (0..WORDS)
+            .map(|w| f.get_u64(rank, GlobalAddr::new(rank, w * 8)))
+            .collect()
+    };
+    Some(([got0, got1], [words(0), words(1)]))
+}
+
+/// The property: the aggregated fabric delivers the same handler
+/// sequences and produces the same segment state as the unaggregated
+/// one, and actually batched something when the schedule had enough
+/// buffered ops to overflow a threshold.
+fn aggregation_is_transparent(agg: &AggConfig, faults: Option<&FaultPlan>, sched: &[Op]) -> bool {
+    let plain = fabric(None, faults.cloned());
+    let batched = fabric(Some(agg.clone()), faults.cloned());
+    let (Some(p), Some(b)) = (run(&plain, sched), run(&batched, sched)) else {
+        return false;
+    };
+    p == b
+}
+
+/// Check the property; on failure, shrink the schedule to a 1-minimal
+/// counterexample and panic with a reproducible report.
+fn check_or_shrink(agg: AggConfig, faults: Option<FaultPlan>, sched: Vec<Op>) {
+    if aggregation_is_transparent(&agg, faults.as_ref(), &sched) {
+        return;
+    }
+    let original_len = sched.len();
+    let minimal = proptest::shrink_vec(sched, |s| {
+        !aggregation_is_transparent(&agg, faults.as_ref(), s)
+    });
+    panic!(
+        "aggregated delivery diverged under {agg:?} / {faults:?}; \
+         minimal failing schedule ({} of {} ops): {minimal:?}",
+        minimal.len(),
+        original_len,
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn aggregated_delivery_equals_unaggregated(
+        flush_count in 1usize..12,
+        flush_bytes in 32usize..256,
+        sched in proptest::collection::vec(
+            (any::<bool>(), any::<u8>(), 0u16..512, 0u16..512), 1..80),
+    ) {
+        let agg = AggConfig::new().flush_count(flush_count).flush_bytes(flush_bytes);
+        check_or_shrink(agg, None, sched);
+    }
+
+    #[test]
+    fn aggregated_delivery_survives_drop_and_dup(
+        seed in 0u64..1_000_000,
+        drop_ppm in 0u32..300_000,
+        dup_ppm in 0u32..200_000,
+        flush_count in 1usize..12,
+        sched in proptest::collection::vec(
+            (any::<bool>(), any::<u8>(), 0u16..512, 0u16..512), 1..60),
+    ) {
+        let agg = AggConfig::new().flush_count(flush_count);
+        let plan = FaultPlan::new(seed)
+            .drop(drop_ppm as f64 / 1e6)
+            .dup(dup_ppm as f64 / 1e6);
+        check_or_shrink(agg, Some(plan), sched);
+    }
+}
+
+/// Guard against a property that silently never fails: a healthy
+/// all-buffered schedule must pass, and the batched fabric must have
+/// coalesced it into strictly fewer wire frames than logical ops.
+#[test]
+fn batching_actually_batches() {
+    let agg = AggConfig::new().flush_count(8);
+    let sched: Vec<Op> = (0..64)
+        .map(|i| (i % 3 == 0, (i % 4) as u8, i as u16, (i * 7) as u16))
+        .collect();
+    assert!(aggregation_is_transparent(&agg, None, &sched));
+    let f = fabric(Some(agg), None);
+    let _ = run(&f, &sched).expect("clean run");
+    let c = f.total_counts();
+    assert!(c.agg_batches > 0, "{c:?}");
+    assert!(c.agg_ops > c.agg_batches, "{c:?}");
+    assert_eq!(c.agg_ops, 64, "every op in this schedule is buffered");
+}

@@ -24,6 +24,7 @@ fn faulty_fabric(plan: FaultPlan) -> Arc<Fabric> {
         simnet: None,
         trace: TraceConfig::off(),
         faults: Some(plan),
+        agg: None,
     })
 }
 
