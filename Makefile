@@ -7,9 +7,9 @@ CARGO ?= cargo
 # each fully reproducible (see README "Robustness").
 CHAOS_SEEDS ?= 101 202 303
 
-.PHONY: ci fmt clippy test chaos bench-smoke
+.PHONY: ci fmt clippy test chaos check-race bench-smoke
 
-ci: fmt clippy test chaos bench-smoke
+ci: fmt clippy test chaos check-race bench-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -25,6 +25,13 @@ chaos:
 		echo "== chaos seed $$seed =="; \
 		RUPCXX_CHAOS_SEED=$$seed $(CARGO) test -q --test chaos_integration || exit 1; \
 	done
+
+# The rupcxx-check gate: the seeded racy corpus must flag every planted
+# bug and the clean benchmarks must produce zero findings (README
+# "Correctness checking").
+check-race:
+	$(CARGO) test -q --test check_corpus
+	$(CARGO) test -q --test check_clean
 
 # Short calibrated aggregation run: asserts the batched path uses no
 # more wire frames than per-op and regenerates BENCH_aggregation.json.

@@ -35,6 +35,7 @@ fn fabric(agg: Option<AggConfig>) -> Arc<Fabric> {
         trace: TraceConfig::off(),
         faults: None,
         agg,
+        check: None,
     })
 }
 
@@ -48,9 +49,10 @@ fn drain(f: &Fabric) {
     while {
         f.pump_incoming(1);
         for m in f.endpoint(1).drain() {
+            let src = m.src;
             if let AmPayload::Batch { frames, .. } = m.payload {
                 for frame in BatchReader::new(&frames) {
-                    f.apply_frame(1, &frame);
+                    f.apply_frame(1, src, None, &frame);
                 }
             }
         }

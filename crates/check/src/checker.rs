@@ -1,0 +1,684 @@
+//! The online checker: per-rank vector clocks, shadow memory, lock/event
+//! bookkeeping and the wait-for deadlock scan.
+//!
+//! One [`Checker`] is shared by every rank of a job (the fabric holds it
+//! the way it holds the fault plan). All hooks are cheap mutex-guarded
+//! updates; the runtime only calls them when the checker is installed, so
+//! the unchecked path never pays more than one untaken branch.
+
+use crate::clock::{Stamp, VClock};
+use crate::findings::{render_report, Finding, FindingKind};
+use crate::shadow::{AccessKind, AccessRecord, Shadow};
+use crate::CheckConfig;
+use rupcxx_util::sync::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A lock's identity: the (rank, offset) of its word in the global
+/// address space — stable and deterministic, unlike host pointers.
+pub type LockKey = (usize, usize);
+
+/// What a blocked rank is waiting for (registered by every blocking
+/// construct before it enters `wait_until`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaitInfo {
+    /// Blocked inside `barrier()` number `seq` (0-based per rank).
+    Barrier {
+        /// 0-based barrier episode index on the waiting rank.
+        seq: u64,
+    },
+    /// Blocked acquiring a `GlobalLock`.
+    Lock {
+        /// The lock's global word.
+        lock: LockKey,
+    },
+    /// Blocked in `Event::wait`.
+    Event,
+    /// Blocked in `RtFuture::get`.
+    Future,
+    /// Blocked at the end of a `finish` scope.
+    Finish,
+}
+
+impl std::fmt::Display for WaitInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitInfo::Barrier { seq } => write!(f, "barrier #{}", seq + 1),
+            WaitInfo::Lock { lock } => write!(f, "lock ({}, 0x{:x})", lock.0, lock.1),
+            WaitInfo::Event => f.write_str("event wait"),
+            WaitInfo::Future => f.write_str("future get"),
+            WaitInfo::Finish => f.write_str("finish scope"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct LockState {
+    owner: Option<usize>,
+    /// Clock of the most recent release — joined by the next acquirer,
+    /// which is what orders two critical sections on the same lock.
+    release: Option<Stamp>,
+}
+
+#[derive(Default)]
+struct ScanState {
+    /// Wait-table epoch of the previous stuck observation; a deadlock is
+    /// only reported when a later scan sees the identical epoch (i.e. no
+    /// wait registered or cleared in between — nothing moved).
+    last_stuck_epoch: Option<u64>,
+}
+
+/// The shared checker instance for one SPMD job.
+pub struct Checker {
+    cfg: CheckConfig,
+    ranks: usize,
+    clocks: Box<[Mutex<VClock>]>,
+    shadows: Box<[Mutex<Shadow>]>,
+    /// Per-event accumulated signal clocks, keyed by the event core's
+    /// address. (An address can be reused after an event is dropped; the
+    /// stale join that could produce is an extra HB edge — it can mask a
+    /// race, never invent one.)
+    event_clocks: Mutex<HashMap<usize, VClock>>,
+    locks: Mutex<HashMap<LockKey, LockState>>,
+    waits: Box<[Mutex<Option<WaitInfo>>]>,
+    /// Bumped on every wait register/clear and rank completion; the
+    /// deadlock scan's notion of "something moved".
+    wait_epoch: AtomicU64,
+    barrier_entries: Box<[AtomicU64]>,
+    completed: Box<[AtomicBool]>,
+    scan: Mutex<ScanState>,
+    findings: Mutex<Vec<Finding>>,
+    reported: Mutex<HashSet<(FindingKind, String)>>,
+    aborted: AtomicBool,
+    abort_msg: Mutex<Option<String>>,
+}
+
+impl Checker {
+    /// Build a checker for a job of `ranks` ranks.
+    pub fn new(ranks: usize, cfg: CheckConfig) -> Self {
+        Checker {
+            cfg,
+            ranks,
+            clocks: (0..ranks).map(|_| Mutex::new(VClock::new(ranks))).collect(),
+            shadows: (0..ranks).map(|_| Mutex::new(Shadow::default())).collect(),
+            event_clocks: Mutex::new(HashMap::new()),
+            locks: Mutex::new(HashMap::new()),
+            waits: (0..ranks).map(|_| Mutex::new(None)).collect(),
+            wait_epoch: AtomicU64::new(0),
+            barrier_entries: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            completed: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            scan: Mutex::new(ScanState::default()),
+            findings: Mutex::new(Vec::new()),
+            reported: Mutex::new(HashSet::new()),
+            aborted: AtomicBool::new(false),
+            abort_msg: Mutex::new(None),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// True when the happens-before race pass is on.
+    #[inline]
+    pub fn race_on(&self) -> bool {
+        self.cfg.race
+    }
+
+    /// True when the deadlock/misuse pass is on.
+    #[inline]
+    pub fn deadlock_on(&self) -> bool {
+        self.cfg.deadlock
+    }
+
+    // ---- clock plumbing -------------------------------------------------
+
+    /// Snapshot `rank`'s clock for an outgoing message (ticking first, so
+    /// the sender's later events are *not* ordered under the receiver's).
+    pub fn send_stamp(&self, rank: usize) -> Stamp {
+        let mut c = self.clocks[rank].lock();
+        c.tick(rank);
+        c.stamp()
+    }
+
+    /// Join a received message's snapshot into `rank`'s clock (called by
+    /// the progress engine before the payload runs).
+    pub fn join(&self, rank: usize, stamp: &Stamp) {
+        let mut c = self.clocks[rank].lock();
+        c.join(stamp);
+        c.tick(rank);
+    }
+
+    /// Advance `rank`'s clock by one local event (finish entry/exit and
+    /// other sync points without a partner snapshot).
+    pub fn tick(&self, rank: usize) {
+        self.clocks[rank].lock().tick(rank);
+    }
+
+    /// Elementwise minimum over all ranks' current clocks: the prune
+    /// frontier — every record at or under it is in everyone's past.
+    fn min_clock(&self) -> Stamp {
+        let mut min = vec![u64::MAX; self.ranks];
+        for m in self.clocks.iter() {
+            for (lo, v) in min.iter_mut().zip(m.lock().components()) {
+                *lo = (*lo).min(*v);
+            }
+        }
+        Stamp(min.into_boxed_slice())
+    }
+
+    // ---- access recording ----------------------------------------------
+
+    /// Record a direct access by `initiator` to `target`'s segment.
+    pub fn access(
+        &self,
+        initiator: usize,
+        target: usize,
+        offset: usize,
+        len: usize,
+        kind: AccessKind,
+        op: &'static str,
+    ) {
+        if !self.cfg.race || len == 0 {
+            return;
+        }
+        let clock = {
+            let mut c = self.clocks[initiator].lock();
+            c.tick(initiator);
+            c.stamp()
+        };
+        self.record(
+            AccessRecord {
+                initiator,
+                start: offset,
+                len,
+                kind,
+                clock,
+                op,
+            },
+            target,
+        );
+    }
+
+    /// Record an aggregated-frame access applied on `target`, attributed
+    /// to the frame's sender with the clock the batch carried — the
+    /// sender's snapshot at flush time, which is exactly when the
+    /// buffered op was injected.
+    #[allow(clippy::too_many_arguments)]
+    pub fn frame_access(
+        &self,
+        src: usize,
+        target: usize,
+        offset: usize,
+        len: usize,
+        kind: AccessKind,
+        stamp: &Stamp,
+        op: &'static str,
+    ) {
+        if !self.cfg.race || len == 0 {
+            return;
+        }
+        self.record(
+            AccessRecord {
+                initiator: src,
+                start: offset,
+                len,
+                kind,
+                clock: stamp.clone(),
+                op,
+            },
+            target,
+        );
+    }
+
+    fn record(&self, rec: AccessRecord, target: usize) {
+        let races = self.shadows[target]
+            .lock()
+            .insert(rec.clone(), || self.min_clock());
+        for race in races {
+            let (a, b) = order_pair(&race.prior, &rec);
+            let end = rec.start + rec.len;
+            let key = format!(
+                "{target}:{}:{}:{}:{}:{}:{}",
+                rec.start, a.initiator, a.op, b.initiator, b.op, end
+            );
+            let message = format!(
+                "data race on rank {target}'s segment [0x{:x}..0x{:x}): \
+                 {} `{}` by rank {} at {} vs {} `{}` by rank {} at {} \
+                 — no happens-before edge between them",
+                a.start.max(b.start),
+                (a.start + a.len).min(b.start + b.len),
+                a.kind,
+                a.op,
+                a.initiator,
+                a.clock,
+                b.kind,
+                b.op,
+                b.initiator,
+                b.clock,
+            );
+            self.report(FindingKind::DataRace, key, message);
+        }
+    }
+
+    // ---- barrier hooks --------------------------------------------------
+
+    /// A rank arrives at `barrier()`: flag locks held across the barrier,
+    /// then register the barrier wait.
+    pub fn barrier_enter(&self, rank: usize) {
+        for (lock, st) in self.locks.lock().iter() {
+            if st.owner == Some(rank) {
+                self.report(
+                    FindingKind::LockAcrossBarrier,
+                    format!("lab:{rank}:{}:{}", lock.0, lock.1),
+                    format!(
+                        "rank {rank} entered barrier() while holding lock \
+                         ({}, 0x{:x}) — a peer acquiring it inside the same \
+                         barrier episode deadlocks",
+                        lock.0, lock.1
+                    ),
+                );
+            }
+        }
+        let seq = self.barrier_entries[rank].fetch_add(1, Ordering::AcqRel);
+        self.wait_register(rank, WaitInfo::Barrier { seq });
+    }
+
+    /// A rank leaves `barrier()`: clear the wait, advance the clock and
+    /// prune its own shadow (a barrier is the natural prune point — the
+    /// global min-clock moves past everything pre-barrier once all ranks
+    /// have gone through).
+    pub fn barrier_exit(&self, rank: usize) {
+        self.wait_clear(rank);
+        self.tick(rank);
+        if self.cfg.race {
+            let min = self.min_clock();
+            self.shadows[rank].lock().prune(&min);
+        }
+    }
+
+    // ---- event hooks ----------------------------------------------------
+
+    /// `Event::signal` on `rank`: accumulate the signaler's clock under
+    /// the event's key so waiters can join it.
+    pub fn event_signal(&self, rank: usize, key: usize) {
+        let stamp = self.send_stamp(rank);
+        self.event_clocks
+            .lock()
+            .entry(key)
+            .or_insert_with(|| VClock::new(self.ranks))
+            .join(&stamp);
+    }
+
+    /// Entering `Event::wait`.
+    pub fn event_wait_begin(&self, rank: usize) {
+        self.wait_register(rank, WaitInfo::Event);
+    }
+
+    /// `Event::wait` completed: join the accumulated signal clocks, so
+    /// accesses after the wait are ordered after every signaler.
+    pub fn event_wait_end(&self, rank: usize, key: usize) {
+        self.wait_clear(rank);
+        let stamp = self.event_clocks.lock().get(&key).map(|c| c.stamp());
+        if let Some(stamp) = stamp {
+            self.join(rank, &stamp);
+        }
+    }
+
+    /// Entering `RtFuture::get` (ordering rides the reply AM's clock).
+    pub fn future_wait_begin(&self, rank: usize) {
+        self.wait_register(rank, WaitInfo::Future);
+    }
+
+    /// `RtFuture::get` completed.
+    pub fn future_wait_end(&self, rank: usize) {
+        self.wait_clear(rank);
+    }
+
+    /// Entering the blocking tail of a `finish` scope.
+    pub fn finish_wait_begin(&self, rank: usize) {
+        self.wait_register(rank, WaitInfo::Finish);
+    }
+
+    /// The `finish` scope closed (completion replies carried the clocks).
+    pub fn finish_wait_end(&self, rank: usize) {
+        self.wait_clear(rank);
+        self.tick(rank);
+    }
+
+    // ---- lock hooks ------------------------------------------------------
+
+    /// A successful `GlobalLock` CAS acquire: record ownership and join
+    /// the previous holder's release clock (the lock hand-off edge).
+    pub fn lock_acquired(&self, rank: usize, lock: LockKey) {
+        let release = {
+            let mut locks = self.locks.lock();
+            let st = locks.entry(lock).or_default();
+            st.owner = Some(rank);
+            st.release.clone()
+        };
+        if let Some(stamp) = &release {
+            self.join(rank, stamp);
+        } else {
+            self.tick(rank);
+        }
+        self.wait_clear(rank);
+    }
+
+    /// About to release a `GlobalLock` (called *before* the CAS makes the
+    /// lock available, so the next acquirer always finds the clock).
+    pub fn lock_release(&self, rank: usize, lock: LockKey) {
+        let stamp = self.send_stamp(rank);
+        let mut locks = self.locks.lock();
+        let st = locks.entry(lock).or_default();
+        st.owner = None;
+        st.release = Some(stamp);
+    }
+
+    /// Blocking in `GlobalLock::acquire`.
+    pub fn lock_wait_begin(&self, rank: usize, lock: LockKey) {
+        self.wait_register(rank, WaitInfo::Lock { lock });
+    }
+
+    /// `GlobalLock::acquire` gave up its wait slot (acquired or failed).
+    pub fn lock_wait_end(&self, rank: usize) {
+        self.wait_clear(rank);
+    }
+
+    /// The lock's word was freed; forget its state.
+    pub fn lock_destroyed(&self, lock: LockKey) {
+        self.locks.lock().remove(&lock);
+    }
+
+    // ---- completion and the deadlock scan -------------------------------
+
+    /// The rank's SPMD closure returned (it still serves progress, so it
+    /// can never be "stuck").
+    pub fn rank_completed(&self, rank: usize) {
+        self.completed[rank].store(true, Ordering::SeqCst);
+        self.wait_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn wait_register(&self, rank: usize, info: WaitInfo) {
+        if !self.cfg.deadlock {
+            return;
+        }
+        *self.waits[rank].lock() = Some(info);
+        self.wait_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn wait_clear(&self, rank: usize) {
+        if !self.cfg.deadlock {
+            return;
+        }
+        *self.waits[rank].lock() = None;
+        self.wait_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// True once the deadlock pass declared the job wedged; blocking
+    /// waits turn this into a panic (like `Fabric::has_failed`).
+    #[inline]
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// The abort report, for the panic message.
+    pub fn abort_message(&self) -> Option<String> {
+        self.abort_msg.lock().clone()
+    }
+
+    /// Periodic idle-time scan from a blocked rank's `wait_until`.
+    /// `quiet` must be the caller's observation that no message anywhere
+    /// is queued or in flight. A deadlock is reported only when two
+    /// consecutive scans observe the identical stuck wait table with no
+    /// register/clear in between — transient states never confirm.
+    pub fn maybe_scan(&self, quiet: bool) {
+        if !self.cfg.deadlock || self.is_aborted() {
+            return;
+        }
+        let mut scan = self.scan.lock();
+        if !quiet {
+            scan.last_stuck_epoch = None;
+            return;
+        }
+        let epoch = self.wait_epoch.load(Ordering::SeqCst);
+        let mut waiting: Vec<(usize, WaitInfo)> = Vec::new();
+        for r in 0..self.ranks {
+            if self.completed[r].load(Ordering::SeqCst) {
+                continue;
+            }
+            match *self.waits[r].lock() {
+                Some(info) => waiting.push((r, info)),
+                None => {
+                    // Somebody is computing: not stuck.
+                    scan.last_stuck_epoch = None;
+                    return;
+                }
+            }
+        }
+        if waiting.is_empty() || self.wait_epoch.load(Ordering::SeqCst) != epoch {
+            scan.last_stuck_epoch = None;
+            return;
+        }
+        match scan.last_stuck_epoch {
+            Some(e) if e == epoch => {
+                self.confirm_deadlock(&waiting);
+            }
+            _ => scan.last_stuck_epoch = Some(epoch),
+        }
+    }
+
+    /// Two scans agreed: classify the stuck state and abort the job.
+    fn confirm_deadlock(&self, waiting: &[(usize, WaitInfo)]) {
+        if self.aborted.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let before = self.findings.lock().len();
+        self.classify_stuck(waiting);
+        let findings = self.findings.lock();
+        let msg = findings
+            .get(before)
+            .or_else(|| findings.last())
+            .map(|f| f.to_string())
+            .unwrap_or_else(|| "deadlock detected".to_string());
+        *self.abort_msg.lock() = Some(format!("rupcxx-check: {msg}"));
+    }
+
+    fn classify_stuck(&self, waiting: &[(usize, WaitInfo)]) {
+        let owners: HashMap<LockKey, Option<usize>> = self
+            .locks
+            .lock()
+            .iter()
+            .map(|(k, st)| (*k, st.owner))
+            .collect();
+        let waits_on_lock: HashMap<usize, LockKey> = waiting
+            .iter()
+            .filter_map(|(r, w)| match w {
+                WaitInfo::Lock { lock } => Some((*r, *lock)),
+                _ => None,
+            })
+            .collect();
+        let mut specific = false;
+        for &(rank, info) in waiting {
+            match info {
+                WaitInfo::Lock { lock } => {
+                    specific = true;
+                    self.classify_lock_wait(rank, lock, &owners, &waits_on_lock);
+                }
+                WaitInfo::Event | WaitInfo::Future => {
+                    specific = true;
+                    let what = if info == WaitInfo::Event {
+                        "an event that is never signaled"
+                    } else {
+                        "a future that never resolves"
+                    };
+                    self.report(
+                        FindingKind::EventNeverSignaled,
+                        format!("ev:{rank}"),
+                        format!(
+                            "rank {rank} blocked waiting on {what}: every \
+                             other rank has completed or is equally blocked"
+                        ),
+                    );
+                }
+                WaitInfo::Barrier { seq } => {
+                    for c in 0..self.ranks {
+                        if self.completed[c].load(Ordering::SeqCst)
+                            && self.barrier_entries[c].load(Ordering::SeqCst) <= seq
+                        {
+                            specific = true;
+                            self.report(
+                                FindingKind::BarrierMismatch,
+                                format!("bar:{rank}:{seq}"),
+                                format!(
+                                    "mismatched barrier arrival: rank {rank} \
+                                     blocked in barrier #{} but rank {c} \
+                                     completed after only {} barrier(s)",
+                                    seq + 1,
+                                    self.barrier_entries[c].load(Ordering::SeqCst)
+                                ),
+                            );
+                            break;
+                        }
+                    }
+                }
+                WaitInfo::Finish => {}
+            }
+        }
+        if !specific {
+            let table: Vec<String> = waiting
+                .iter()
+                .map(|(r, w)| format!("rank {r}: {w}"))
+                .collect();
+            self.report(
+                FindingKind::Deadlock,
+                "generic".to_string(),
+                format!(
+                    "global deadlock: no rank can make progress ({})",
+                    table.join("; ")
+                ),
+            );
+        }
+    }
+
+    fn classify_lock_wait(
+        &self,
+        rank: usize,
+        lock: LockKey,
+        owners: &HashMap<LockKey, Option<usize>>,
+        waits_on_lock: &HashMap<usize, LockKey>,
+    ) {
+        let owner = owners.get(&lock).copied().flatten();
+        let Some(owner) = owner else {
+            // Lock is free yet the rank is "stuck" acquiring it — a
+            // transient the epoch check should have filtered; stay quiet.
+            return;
+        };
+        if owner == rank {
+            self.report(
+                FindingKind::LockCycle,
+                format!("self:{rank}:{}:{}", lock.0, lock.1),
+                format!(
+                    "self-deadlock: rank {rank} re-acquires lock \
+                     ({}, 0x{:x}) it already holds",
+                    lock.0, lock.1
+                ),
+            );
+            return;
+        }
+        // Follow waiter -> held-lock -> owner edges looking for a cycle
+        // back to `rank`.
+        let mut chain = vec![(rank, lock)];
+        let mut cur = owner;
+        while let Some(&next_lock) = waits_on_lock.get(&cur) {
+            chain.push((cur, next_lock));
+            let Some(next_owner) = owners.get(&next_lock).copied().flatten() else {
+                break;
+            };
+            if next_owner == rank {
+                let path: Vec<String> = chain
+                    .iter()
+                    .map(|(r, l)| format!("rank {r} waits for lock ({}, 0x{:x})", l.0, l.1))
+                    .collect();
+                // One canonical report per cycle: keyed on the smallest
+                // participating rank so each cycle is reported once.
+                let min_rank = chain.iter().map(|(r, _)| *r).min().unwrap_or(rank);
+                self.report(
+                    FindingKind::LockCycle,
+                    format!("cycle:{min_rank}"),
+                    format!("lock cycle: {}", path.join("; ")),
+                );
+                return;
+            }
+            if chain.iter().any(|(r, _)| *r == next_owner) {
+                return; // a cycle not through `rank`; its members report it
+            }
+            cur = next_owner;
+        }
+        self.report(
+            FindingKind::Deadlock,
+            format!("lockstuck:{rank}"),
+            format!(
+                "rank {rank} blocked acquiring lock ({}, 0x{:x}) held by \
+                 rank {owner}, which cannot make progress",
+                lock.0, lock.1
+            ),
+        );
+    }
+
+    // ---- findings -------------------------------------------------------
+
+    fn report(&self, kind: FindingKind, dedup_key: String, message: String) {
+        if !self.reported.lock().insert((kind, dedup_key)) {
+            return;
+        }
+        let finding = Finding { kind, message };
+        eprintln!("(rupcxx-check) {finding}");
+        if let Some(sink) = &self.cfg.sink {
+            sink.lock().push(finding.clone());
+        }
+        self.findings.lock().push(finding);
+    }
+
+    /// Snapshot all findings recorded so far.
+    pub fn findings(&self) -> Vec<Finding> {
+        self.findings.lock().clone()
+    }
+
+    /// End-of-job export: write the report file when a path was
+    /// configured, and return the number of findings.
+    pub fn export(&self) -> usize {
+        let findings = self.findings.lock();
+        if let Some(path) = &self.cfg.report_path {
+            if let Err(e) = std::fs::write(path, render_report(&findings)) {
+                eprintln!("(rupcxx-check: could not write report {path}: {e})");
+            }
+        }
+        findings.len()
+    }
+}
+
+/// Order a race's two sides deterministically (by initiator, then op),
+/// so the report text does not depend on which access was recorded first.
+fn order_pair<'a>(
+    a: &'a AccessRecord,
+    b: &'a AccessRecord,
+) -> (&'a AccessRecord, &'a AccessRecord) {
+    if (a.initiator, a.op) <= (b.initiator, b.op) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl std::fmt::Debug for Checker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Checker")
+            .field("ranks", &self.ranks)
+            .field("race", &self.cfg.race)
+            .field("deadlock", &self.cfg.deadlock)
+            .field("findings", &self.findings.lock().len())
+            .finish()
+    }
+}

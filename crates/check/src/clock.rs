@@ -1,0 +1,131 @@
+//! Vector clocks: the partial order under the happens-before relation.
+//!
+//! Each rank carries one [`VClock`] with one component per rank. Local
+//! "events" (a global-memory access, a message send) tick the rank's own
+//! component; receiving a synchronization edge (an AM delivery, a lock
+//! hand-off, an event wait) joins the sender's snapshot in. Two access
+//! snapshots `a`, `b` are *ordered* iff `a ≤ b` or `b ≤ a` elementwise;
+//! everything else is concurrent — and concurrent conflicting accesses
+//! are data races.
+
+/// An immutable snapshot of a vector clock, attached to messages and
+/// shadow-memory records. One `u64` per rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stamp(pub Box<[u64]>);
+
+impl Stamp {
+    /// True when `self` happened-before-or-equals `other` (elementwise ≤).
+    pub fn leq(&self, other: &Stamp) -> bool {
+        leq(&self.0, &other.0)
+    }
+
+    /// True when neither snapshot happened-before the other.
+    pub fn concurrent_with(&self, other: &Stamp) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+impl std::fmt::Display for Stamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Elementwise `a ≤ b`.
+pub(crate) fn leq(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).all(|(x, y)| x <= y)
+}
+
+/// One rank's mutable vector clock.
+#[derive(Clone, Debug)]
+pub struct VClock {
+    v: Box<[u64]>,
+}
+
+impl VClock {
+    /// The zero clock for a job of `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        VClock {
+            v: vec![0u64; ranks].into_boxed_slice(),
+        }
+    }
+
+    /// Advance `me`'s own component by one (a fresh local event).
+    pub fn tick(&mut self, me: usize) {
+        self.v[me] += 1;
+    }
+
+    /// Merge a received snapshot: elementwise max.
+    pub fn join(&mut self, other: &Stamp) {
+        for (mine, theirs) in self.v.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Snapshot the current value.
+    pub fn stamp(&self) -> Stamp {
+        Stamp(self.v.clone())
+    }
+
+    /// The raw components (for computing global minima at prune time).
+    pub fn components(&self) -> &[u64] {
+        &self.v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_orders_successive_events_on_one_rank() {
+        let mut c = VClock::new(3);
+        c.tick(1);
+        let a = c.stamp();
+        c.tick(1);
+        let b = c.stamp();
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(!a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn independent_ranks_are_concurrent() {
+        let mut c0 = VClock::new(2);
+        let mut c1 = VClock::new(2);
+        c0.tick(0);
+        c1.tick(1);
+        assert!(c0.stamp().concurrent_with(&c1.stamp()));
+    }
+
+    #[test]
+    fn join_establishes_order() {
+        let mut sender = VClock::new(2);
+        sender.tick(0);
+        let msg = sender.stamp();
+        let mut receiver = VClock::new(2);
+        receiver.join(&msg);
+        receiver.tick(1);
+        // Everything at the receiver after the join is HB-after the send.
+        assert!(msg.leq(&receiver.stamp()));
+        // But the sender's *next* event is concurrent with the receiver.
+        sender.tick(0);
+        assert!(sender.stamp().concurrent_with(&receiver.stamp()));
+    }
+
+    #[test]
+    fn stamp_display_is_compact() {
+        let mut c = VClock::new(3);
+        c.tick(0);
+        c.tick(2);
+        assert_eq!(c.stamp().to_string(), "<1,0,1>");
+    }
+}

@@ -1,0 +1,72 @@
+//! Checker findings and the end-of-job report.
+
+use rupcxx_util::sync::Mutex;
+use std::sync::Arc;
+
+/// Classification of a checker finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// Two concurrent conflicting global-memory accesses.
+    DataRace,
+    /// A cycle in the lock wait-for graph (including a rank re-acquiring
+    /// a lock it already holds).
+    LockCycle,
+    /// A rank entered `barrier()` while holding a `GlobalLock`.
+    LockAcrossBarrier,
+    /// A rank blocked on an `Event` (or future) that can never be
+    /// signaled — every other rank is finished or equally stuck.
+    EventNeverSignaled,
+    /// Ranks disagree on the number of `barrier()` episodes: a blocked
+    /// barrier whose missing participant already exited the job.
+    BarrierMismatch,
+    /// A confirmed global deadlock that matches no more specific pattern.
+    Deadlock,
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FindingKind::DataRace => "data-race",
+            FindingKind::LockCycle => "lock-cycle",
+            FindingKind::LockAcrossBarrier => "lock-across-barrier",
+            FindingKind::EventNeverSignaled => "event-never-signaled",
+            FindingKind::BarrierMismatch => "barrier-mismatch",
+            FindingKind::Deadlock => "deadlock",
+        })
+    }
+}
+
+/// One checker finding: a kind plus a deterministic human-readable
+/// description carrying both operations' context (ranks, address range,
+/// op labels, clock snapshots).
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// What class of bug this is.
+    pub kind: FindingKind,
+    /// Deterministic description (no timestamps, no pointers).
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+/// Where findings are delivered as they are recorded; tests install one
+/// through `CheckConfig::with_sink` to assert on the outcome even when
+/// the job aborts (deadlock findings surface as panics).
+pub type FindingSink = Arc<Mutex<Vec<Finding>>>;
+
+/// Render the end-of-job report body.
+pub fn render_report(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rupcxx-check report: {} finding(s)\n",
+        findings.len()
+    ));
+    for f in findings {
+        out.push_str(&format!("{f}\n"));
+    }
+    out
+}

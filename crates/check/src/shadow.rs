@@ -1,0 +1,243 @@
+//! Shadow memory: per-segment interval records of global-memory accesses.
+//!
+//! Every checked access to a rank's segment is recorded as an interval
+//! `(initiator, [start, start+len), kind, clock)`. A new access races with
+//! an existing record when the byte ranges overlap, the access kinds
+//! conflict, and the two clock snapshots are concurrent.
+//!
+//! Records are pruned in two ways, both sound:
+//! * a record is *replaced* by a new one with the same initiator, range
+//!   and kind that happens-after it (any future access concurrent with
+//!   the old record is also concurrent with its replacement, or already
+//!   raced at insertion time);
+//! * at a barrier — or when a shadow grows past a size threshold — every
+//!   record dominated by the elementwise minimum over all ranks' current
+//!   clocks is discarded (no future access can be concurrent with it).
+
+use crate::clock::{leq, Stamp};
+
+/// What an access does to memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A plain read (`get` and friends).
+    Read,
+    /// A plain write (`put` and friends).
+    Write,
+    /// An atomic read-modify-write (`xor`/`add`/`cas`, aggregated word
+    /// frames). Atomics never race with other atomics — that is exactly
+    /// how GUPS' concurrent xor updates are well-defined — but they do
+    /// conflict with plain reads and writes.
+    Atomic,
+}
+
+impl AccessKind {
+    /// True when two accesses of these kinds to overlapping bytes need a
+    /// happens-before edge. Only read/read and atomic/atomic pairs are
+    /// safe without one.
+    pub fn conflicts_with(self, other: AccessKind) -> bool {
+        !matches!(
+            (self, other),
+            (AccessKind::Read, AccessKind::Read) | (AccessKind::Atomic, AccessKind::Atomic)
+        )
+    }
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Atomic => "atomic",
+        })
+    }
+}
+
+/// One recorded access.
+#[derive(Clone, Debug)]
+pub struct AccessRecord {
+    /// Rank that performed (or initiated) the access.
+    pub initiator: usize,
+    /// First byte offset in the target segment.
+    pub start: usize,
+    /// Byte length (never 0).
+    pub len: usize,
+    /// Read / write / atomic.
+    pub kind: AccessKind,
+    /// Happens-before snapshot at the access.
+    pub clock: Stamp,
+    /// Static operation label for reports (e.g. `"put"`, `"agg-put"`).
+    pub op: &'static str,
+}
+
+impl AccessRecord {
+    fn overlaps(&self, start: usize, len: usize) -> bool {
+        self.start < start + len && start < self.start + self.len
+    }
+}
+
+/// A detected race: the prior record the new access collided with.
+pub struct RaceWith {
+    /// The existing record.
+    pub prior: AccessRecord,
+}
+
+/// Shadow state for one rank's segment.
+#[derive(Default)]
+pub struct Shadow {
+    records: Vec<AccessRecord>,
+}
+
+/// Above this many live records, [`Shadow::insert`] asks the caller for a
+/// global min-clock prune (via the `min_clock` callback).
+pub const SHADOW_PRUNE_THRESHOLD: usize = 1 << 14;
+
+impl Shadow {
+    /// Record `access`, returning every existing record it races with.
+    /// `min_clock` is invoked (rarely) when the shadow needs pruning; it
+    /// must return the elementwise minimum of all ranks' current clocks.
+    pub fn insert(
+        &mut self,
+        access: AccessRecord,
+        min_clock: impl FnOnce() -> Stamp,
+    ) -> Vec<RaceWith> {
+        let mut races = Vec::new();
+        let mut replace: Option<usize> = None;
+        for (i, rec) in self.records.iter().enumerate() {
+            if !rec.overlaps(access.start, access.len) {
+                continue;
+            }
+            if rec.kind.conflicts_with(access.kind) && rec.clock.concurrent_with(&access.clock) {
+                races.push(RaceWith { prior: rec.clone() });
+            }
+            if replace.is_none()
+                && rec.initiator == access.initiator
+                && rec.start == access.start
+                && rec.len == access.len
+                && rec.kind == access.kind
+                && rec.clock.leq(&access.clock)
+            {
+                replace = Some(i);
+            }
+        }
+        match replace {
+            Some(i) => self.records[i] = access,
+            None => self.records.push(access),
+        }
+        if self.records.len() > SHADOW_PRUNE_THRESHOLD {
+            self.prune(&min_clock());
+        }
+        races
+    }
+
+    /// Discard every record whose clock is dominated by `min` — no future
+    /// access anywhere can be concurrent with it.
+    pub fn prune(&mut self, min: &Stamp) {
+        self.records.retain(|r| !leq(&r.clock.0, &min.0));
+    }
+
+    /// Number of live records (tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(v: &[u64]) -> Stamp {
+        Stamp(v.to_vec().into_boxed_slice())
+    }
+
+    fn rec(
+        initiator: usize,
+        start: usize,
+        len: usize,
+        kind: AccessKind,
+        v: &[u64],
+    ) -> AccessRecord {
+        AccessRecord {
+            initiator,
+            start,
+            len,
+            kind,
+            clock: stamp(v),
+            op: "test",
+        }
+    }
+
+    fn no_min() -> Stamp {
+        panic!("prune not expected")
+    }
+
+    #[test]
+    fn concurrent_overlapping_write_read_races() {
+        let mut s = Shadow::default();
+        assert!(s
+            .insert(rec(0, 0, 8, AccessKind::Write, &[1, 0]), no_min)
+            .is_empty());
+        let races = s.insert(rec(1, 4, 8, AccessKind::Read, &[0, 1]), no_min);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].prior.initiator, 0);
+    }
+
+    #[test]
+    fn ordered_accesses_do_not_race() {
+        let mut s = Shadow::default();
+        assert!(s
+            .insert(rec(0, 0, 8, AccessKind::Write, &[1, 0]), no_min)
+            .is_empty());
+        // The reader joined the writer's clock: <1,1> dominates <1,0>.
+        assert!(s
+            .insert(rec(1, 0, 8, AccessKind::Read, &[1, 1]), no_min)
+            .is_empty());
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_race() {
+        let mut s = Shadow::default();
+        assert!(s
+            .insert(rec(0, 0, 8, AccessKind::Write, &[1, 0]), no_min)
+            .is_empty());
+        assert!(s
+            .insert(rec(1, 8, 8, AccessKind::Write, &[0, 1]), no_min)
+            .is_empty());
+    }
+
+    #[test]
+    fn atomic_atomic_is_not_a_race_but_atomic_read_is() {
+        let mut s = Shadow::default();
+        assert!(s
+            .insert(rec(0, 0, 8, AccessKind::Atomic, &[1, 0]), no_min)
+            .is_empty());
+        assert!(s
+            .insert(rec(1, 0, 8, AccessKind::Atomic, &[0, 1]), no_min)
+            .is_empty());
+        let races = s.insert(rec(1, 0, 8, AccessKind::Read, &[0, 2]), no_min);
+        assert_eq!(races.len(), 1, "unordered atomic vs read must race");
+    }
+
+    #[test]
+    fn dominated_same_shape_record_is_replaced() {
+        let mut s = Shadow::default();
+        let _ = s.insert(rec(0, 0, 8, AccessKind::Write, &[1, 0]), no_min);
+        let _ = s.insert(rec(0, 0, 8, AccessKind::Write, &[2, 0]), no_min);
+        assert_eq!(s.len(), 1, "happens-after same-shape access replaces");
+    }
+
+    #[test]
+    fn min_clock_prune_discards_dominated_records() {
+        let mut s = Shadow::default();
+        let _ = s.insert(rec(0, 0, 8, AccessKind::Write, &[1, 0]), no_min);
+        let _ = s.insert(rec(1, 8, 8, AccessKind::Write, &[0, 5]), no_min);
+        s.prune(&stamp(&[1, 1]));
+        assert_eq!(s.len(), 1, "only the record under the min goes");
+        s.prune(&stamp(&[9, 9]));
+        assert!(s.is_empty());
+    }
+}

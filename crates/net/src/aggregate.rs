@@ -85,17 +85,10 @@ impl AggConfig {
     /// * `on` or `1` — enabled with the default thresholds;
     /// * `BYTES,COUNT` (e.g. `RUPCXX_AGG=4096,64`) — explicit thresholds.
     ///
-    /// A malformed value prints a notice to stderr and disables the
-    /// layer, mirroring `RUPCXX_FAULTS`/`RUPCXX_TRACE`.
+    /// A malformed value aborts with a clear message, mirroring
+    /// `RUPCXX_FAULTS`/`RUPCXX_TRACE`/`RUPCXX_CHECK`.
     pub fn from_env() -> Option<Self> {
-        let raw = std::env::var("RUPCXX_AGG").ok()?;
-        match Self::parse(&raw) {
-            Ok(cfg) => cfg,
-            Err(e) => {
-                eprintln!("(RUPCXX_AGG {raw:?} ignored: {e})");
-                None
-            }
-        }
+        rupcxx_util::env::parse_env("RUPCXX_AGG", "off | on | BYTES,COUNT", Self::parse)
     }
 
     /// Parse an `RUPCXX_AGG` value (see [`AggConfig::from_env`]).
@@ -415,7 +408,57 @@ impl Fabric {
     /// Apply one segment-level frame on `me`'s own segment (the receiver
     /// side of batch dispatch). Returns `false` for [`Frame::Handler`],
     /// which the caller must route through its handler registry.
-    pub fn apply_frame(&self, me: Rank, frame: &Frame<'_>) -> bool {
+    ///
+    /// `src`/`clock` identify the batch the frame arrived in: the checker
+    /// records each applied frame as an access *by the sender* with the
+    /// batch's flush-time clock — not the receiving rank's current clock,
+    /// which would order the frame under everything the receiver has done
+    /// and hide races with the receiver's own unfenced accesses.
+    pub fn apply_frame(
+        &self,
+        me: Rank,
+        src: Rank,
+        clock: Option<&rupcxx_check::Stamp>,
+        frame: &Frame<'_>,
+    ) -> bool {
+        if let (Some(ck), Some(stamp)) = (&self.check, clock) {
+            match frame {
+                Frame::Xor { offset, .. } => {
+                    ck.frame_access(
+                        src,
+                        me,
+                        *offset,
+                        8,
+                        rupcxx_check::AccessKind::Atomic,
+                        stamp,
+                        "agg-xor",
+                    );
+                }
+                Frame::Add { offset, .. } => {
+                    ck.frame_access(
+                        src,
+                        me,
+                        *offset,
+                        8,
+                        rupcxx_check::AccessKind::Atomic,
+                        stamp,
+                        "agg-add",
+                    );
+                }
+                Frame::Put { offset, data } => {
+                    ck.frame_access(
+                        src,
+                        me,
+                        *offset,
+                        data.len(),
+                        rupcxx_check::AccessKind::Write,
+                        stamp,
+                        "agg-put",
+                    );
+                }
+                Frame::Handler { .. } => {}
+            }
+        }
         let seg = &self.endpoints[me].segment;
         match frame {
             Frame::Xor { offset, value } => {
@@ -448,6 +491,7 @@ mod tests {
             trace: TraceConfig::off(),
             faults: None,
             agg: Some(cfg),
+            check: None,
         })
     }
 
@@ -455,7 +499,12 @@ mod tests {
     /// frames, return handler ids in arrival order.
     fn dispatch_all(f: &Fabric, me: Rank) -> Vec<u16> {
         let mut ids = Vec::new();
-        for AmMessage { payload, .. } in f.endpoint(me).drain() {
+        for AmMessage {
+            src,
+            payload,
+            clock,
+        } in f.endpoint(me).drain()
+        {
             match payload {
                 AmPayload::Handler { id, .. } => ids.push(id),
                 AmPayload::Batch { frames, count } => {
@@ -465,7 +514,7 @@ mod tests {
                         if let Frame::Handler { id, .. } = frame {
                             ids.push(id);
                         } else {
-                            assert!(f.apply_frame(me, &frame));
+                            assert!(f.apply_frame(me, src, clock.as_ref(), &frame));
                         }
                     }
                     assert_eq!(seen, count, "batch count must match its frames");
@@ -604,6 +653,7 @@ mod tests {
             trace: TraceConfig::off(),
             faults: None,
             agg: None,
+            check: None,
         });
         assert!(!plain.agg_enabled(0));
         plain.xor_u64_buffered(0, GlobalAddr::new(1, 0), 9);
@@ -652,6 +702,7 @@ mod tests {
             trace: TraceConfig::off(),
             faults: Some(crate::faults::FaultPlan::new(3).dup(1.0)),
             agg: Some(AggConfig::new().flush_count(8)),
+            check: None,
         });
         for _ in 0..8 {
             f.add_u64_buffered(0, GlobalAddr::new(1, 0), 1);

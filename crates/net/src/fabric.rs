@@ -16,6 +16,7 @@ use crate::reliable::{AmChannel, PeerUnreachable};
 use crate::segment::Segment;
 use crate::stats::{CommCounts, CommStats};
 use crate::Rank;
+use rupcxx_check::{AccessKind, CheckConfig, Checker, Stamp};
 use rupcxx_trace::{EventKind, RankTrace, TraceConfig};
 use rupcxx_util::sync::{Mutex, SegQueue};
 use rupcxx_util::Bytes;
@@ -102,6 +103,12 @@ pub struct AmMessage {
     pub src: Rank,
     /// Payload.
     pub payload: AmPayload,
+    /// Sender's vector-clock snapshot at send time, present only when the
+    /// happens-before checker is installed. The receiver's progress engine
+    /// joins it before running the payload — AM delivery is the
+    /// synchronization edge every collective and completion reply is built
+    /// on, so this one field gives the checker the whole HB relation.
+    pub clock: Option<Stamp>,
 }
 
 /// One per-rank endpoint: segment + AM inbox + counters.
@@ -246,6 +253,10 @@ pub struct FabricConfig {
     /// None (the default) keeps every buffered entry point on the direct
     /// path after one untaken branch, with no buffers allocated.
     pub agg: Option<AggConfig>,
+    /// Optional online race/deadlock checker (`RUPCXX_CHECK`). None (the
+    /// default) keeps every hook at one untaken branch; with a config the
+    /// fabric owns the job's shared [`Checker`] instance.
+    pub check: Option<CheckConfig>,
 }
 
 impl Default for FabricConfig {
@@ -257,6 +268,7 @@ impl Default for FabricConfig {
             trace: TraceConfig::off(),
             faults: None,
             agg: None,
+            check: None,
         }
     }
 }
@@ -272,6 +284,8 @@ pub struct Fabric {
     pub(crate) failed: AtomicBool,
     /// First failure's detail, for [`Fabric::failure`].
     pub(crate) failure_detail: Mutex<Option<PeerUnreachable>>,
+    /// The job's shared race/deadlock checker; None disables every hook.
+    pub(crate) check: Option<Arc<Checker>>,
 }
 
 impl Fabric {
@@ -290,13 +304,25 @@ impl Fabric {
                 )
             })
             .collect();
+        let check = config
+            .check
+            .as_ref()
+            .map(|cfg| rupcxx_check::build(config.ranks, cfg));
         Arc::new(Fabric {
             endpoints,
             simnet: config.simnet,
             faults,
             failed: AtomicBool::new(false),
             failure_detail: Mutex::new(None),
+            check,
         })
+    }
+
+    /// The installed checker, if any (the runtime joins message clocks,
+    /// registers waits and exports findings through this).
+    #[inline]
+    pub fn checker(&self) -> Option<&Arc<Checker>> {
+        self.check.as_ref()
     }
 
     /// True when a fault plan is installed (the reliable layer is live).
@@ -343,6 +369,23 @@ impl Fabric {
         }
     }
 
+    /// Race-checker hook shared by every RMA op: one untaken branch when
+    /// no checker is installed.
+    #[inline]
+    fn check_access(
+        &self,
+        initiator: Rank,
+        target: Rank,
+        offset: usize,
+        len: usize,
+        kind: AccessKind,
+        op: &'static str,
+    ) {
+        if let Some(ck) = &self.check {
+            ck.access(initiator, target, offset, len, kind, op);
+        }
+    }
+
     /// Fault gate shared by every RMA op: with no plan installed this is
     /// the hot path's single extra branch; with one, remote ops draw a
     /// fate and retry drops inline (see `reliable::rma_gate_slow`).
@@ -386,6 +429,14 @@ impl Fabric {
     /// [`Fabric::put_u64`].
     pub fn put(&self, initiator: Rank, dst: GlobalAddr, data: &[u8]) {
         let t0 = self.trace_start(initiator);
+        self.check_access(
+            initiator,
+            dst.rank,
+            dst.offset,
+            data.len(),
+            AccessKind::Write,
+            "put",
+        );
         self.count_put(initiator, dst.rank, data.len());
         self.wire(initiator, dst.rank, data.len());
         let seg = &self.endpoints[dst.rank].segment;
@@ -401,6 +452,14 @@ impl Fabric {
     /// reads take the same direct-word fast path as [`Fabric::put`].
     pub fn get(&self, initiator: Rank, src: GlobalAddr, buf: &mut [u8]) {
         let t0 = self.trace_start(initiator);
+        self.check_access(
+            initiator,
+            src.rank,
+            src.offset,
+            buf.len(),
+            AccessKind::Read,
+            "get",
+        );
         self.count_get(initiator, src.rank, buf.len());
         self.wire(initiator, src.rank, buf.len());
         let seg = &self.endpoints[src.rank].segment;
@@ -416,6 +475,7 @@ impl Fabric {
     #[inline]
     pub fn put_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
         let t0 = self.trace_start(initiator);
+        self.check_access(initiator, dst.rank, dst.offset, 8, AccessKind::Write, "put");
         self.count_put(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
         self.endpoints[dst.rank]
@@ -428,6 +488,7 @@ impl Fabric {
     #[inline]
     pub fn get_u64(&self, initiator: Rank, src: GlobalAddr) -> u64 {
         let t0 = self.trace_start(initiator);
+        self.check_access(initiator, src.rank, src.offset, 8, AccessKind::Read, "get");
         self.count_get(initiator, src.rank, 8);
         self.wire(initiator, src.rank, 8);
         let v = self.endpoints[src.rank].segment.load_u64(src.offset);
@@ -439,6 +500,14 @@ impl Fabric {
     #[inline]
     pub fn xor_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
         let t0 = self.trace_start(initiator);
+        self.check_access(
+            initiator,
+            dst.rank,
+            dst.offset,
+            8,
+            AccessKind::Atomic,
+            "xor",
+        );
         self.count_put(initiator, dst.rank, 8);
         // A remote atomic is a full round trip on real hardware.
         self.wire(initiator, dst.rank, 8);
@@ -454,6 +523,14 @@ impl Fabric {
     #[inline]
     pub fn add_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
         let t0 = self.trace_start(initiator);
+        self.check_access(
+            initiator,
+            dst.rank,
+            dst.offset,
+            8,
+            AccessKind::Atomic,
+            "add",
+        );
         self.count_put(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
@@ -474,6 +551,14 @@ impl Fabric {
         new: u64,
     ) -> Result<u64, u64> {
         let t0 = self.trace_start(initiator);
+        self.check_access(
+            initiator,
+            dst.rank,
+            dst.offset,
+            8,
+            AccessKind::Atomic,
+            "cas",
+        );
         self.count_put(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
         self.wire(initiator, dst.rank, 8);
@@ -504,6 +589,21 @@ impl Fabric {
             "put_strided: source size mismatch"
         );
         let t0 = self.trace_start(initiator);
+        if self.check.is_some() {
+            // Record the blocks individually: the gaps between them are
+            // not written, and claiming the covering range would invent
+            // races with neighbours that legitimately own the gap bytes.
+            for b in 0..nblocks {
+                self.check_access(
+                    initiator,
+                    dst.rank,
+                    dst.offset + b * dst_stride,
+                    block,
+                    AccessKind::Write,
+                    "put-strided",
+                );
+            }
+        }
         self.count_put(initiator, dst.rank, src.len());
         self.wire(initiator, dst.rank, src.len());
         let seg = &self.endpoints[dst.rank].segment;
@@ -532,6 +632,18 @@ impl Fabric {
             "get_strided: buffer size mismatch"
         );
         let t0 = self.trace_start(initiator);
+        if self.check.is_some() {
+            for b in 0..nblocks {
+                self.check_access(
+                    initiator,
+                    src.rank,
+                    src.offset + b * src_stride,
+                    block,
+                    AccessKind::Read,
+                    "get-strided",
+                );
+            }
+        }
         self.count_get(initiator, src.rank, buf.len());
         self.wire(initiator, src.rank, buf.len());
         let seg = &self.endpoints[src.rank].segment;
@@ -581,15 +693,22 @@ impl Fabric {
         self.endpoints[initiator]
             .trace
             .instant(EventKind::AmSend, dst as i32, am_bytes as u64);
+        // The sender's clock snapshot rides the message (None when the
+        // checker is off): the receiver joins it before executing the
+        // payload, giving the checker the AM happens-before edge — and,
+        // for a batch, the flush-time clock its frames are recorded with.
+        let clock = self.check.as_ref().map(|ck| ck.send_stamp(initiator));
+        let msg = AmMessage {
+            src: initiator,
+            payload,
+            clock,
+        };
         // The single faults-off branch on the AM path; local deliveries
         // never traverse the (faulty) wire.
         if self.faults.is_some() && initiator != dst {
-            self.am_transmit(initiator, dst, payload);
+            self.am_transmit(initiator, dst, msg);
         } else {
-            self.endpoints[dst].inbox.push(AmMessage {
-                src: initiator,
-                payload,
-            });
+            self.endpoints[dst].inbox.push(msg);
         }
     }
 
@@ -629,6 +748,7 @@ mod tests {
             trace: TraceConfig::off(),
             faults: None,
             agg: None,
+            check: None,
         })
     }
 
@@ -763,6 +883,7 @@ mod tests {
             trace: TraceConfig::off(),
             faults: None,
             agg: None,
+            check: None,
         });
         // Remote word put takes at least the injected latency.
         let t = std::time::Instant::now();
@@ -790,6 +911,7 @@ mod tests {
             trace: TraceConfig::off(),
             faults: None,
             agg: None,
+            check: None,
         });
         let data = vec![0u8; 512 << 10];
         let t = std::time::Instant::now();
@@ -842,6 +964,7 @@ mod tests {
             trace: TraceConfig::off(),
             faults: Some(crate::faults::FaultPlan::new(1)),
             agg: None,
+            check: None,
         });
         assert!(!f.has_faults(), "a no-op plan must not slow the fabric");
         f.send_am(

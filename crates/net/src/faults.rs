@@ -149,18 +149,15 @@ impl FaultPlan {
     }
 
     /// Parse the `RUPCXX_FAULTS` environment variable. Unset, empty or
-    /// `off` mean no fault injection; a malformed value is reported on
-    /// stderr and treated as disabled (chaos must be opted into
-    /// explicitly, never half-applied).
+    /// `off` mean no fault injection; a malformed value aborts with a
+    /// clear message (chaos must be opted into explicitly — a typo must
+    /// never silently turn a chaos run into a clean one).
     pub fn from_env() -> Option<FaultPlan> {
-        let var = std::env::var("RUPCXX_FAULTS").ok()?;
-        match Self::parse(&var) {
-            Ok(plan) => plan,
-            Err(e) => {
-                eprintln!("(RUPCXX_FAULTS: {e}; fault injection disabled)");
-                None
-            }
-        }
+        rupcxx_util::env::parse_env(
+            "RUPCXX_FAULTS",
+            "seed=N[,drop=P][,dup=P][,reorder=P][,delay=P][;link=SRC->DST,...]",
+            Self::parse,
+        )
     }
 
     /// Parse a plan string (the `RUPCXX_FAULTS` syntax). `Ok(None)` means

@@ -34,6 +34,7 @@ pub use fabric::{AmMessage, AmPayload, Endpoint, Fabric, FabricConfig, GlobalAdd
 pub use faults::{Fate, FaultPlan, LinkRule};
 pub use pod::Pod;
 pub use reliable::PeerUnreachable;
+pub use rupcxx_check::{CheckConfig, Checker};
 pub use segment::Segment;
 pub use stats::{CommCounts, CommStats};
 

@@ -33,7 +33,7 @@
 //! result, and a real NIC's RDMA engine retries lost packets below the
 //! atomicity layer for exactly that reason.
 
-use crate::fabric::{AmMessage, AmPayload, Fabric};
+use crate::fabric::{AmMessage, Fabric};
 use crate::faults::{decide, Fate, FaultPlan};
 use crate::Rank;
 use rupcxx_trace::EventKind;
@@ -159,8 +159,12 @@ impl AmChannel {
 
 impl Fabric {
     /// Reliable AM send path (faults installed, `src != dst`): stamp a
-    /// per-link sequence number and offer the frame to the wire.
-    pub(crate) fn am_transmit(&self, src: Rank, dst: Rank, payload: AmPayload) {
+    /// per-link sequence number and offer the frame to the wire. The
+    /// whole [`AmMessage`] (clock snapshot included) rides through
+    /// limbo/lost/retransmit, so redelivered frames keep their original
+    /// happens-before stamp.
+    pub(crate) fn am_transmit(&self, src: Rank, dst: Rank, msg: AmMessage) {
+        debug_assert_eq!(msg.src, src);
         let plan = self.faults.as_ref().expect("am_transmit without faults");
         let ch = self.endpoints[dst]
             .reliable
@@ -169,7 +173,7 @@ impl Fabric {
         let mut link = ch.links[src].lock();
         let seq = link.next_seq;
         link.next_seq += 1;
-        self.offer(&mut link, plan, dst, seq, AmMessage { src, payload }, 0);
+        self.offer(&mut link, plan, dst, seq, msg, 0);
     }
 
     /// One transmission attempt of `seq` on `msg.src -> dst`, dispatching
@@ -419,7 +423,7 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fabric::FabricConfig;
+    use crate::fabric::{AmPayload, FabricConfig};
     use crate::faults::LinkRule;
     use crate::GlobalAddr;
     use rupcxx_trace::TraceConfig;
@@ -434,6 +438,7 @@ mod tests {
             trace: TraceConfig::off(),
             faults: Some(plan),
             agg: None,
+            check: None,
         })
     }
 

@@ -14,9 +14,6 @@ impl Ctx {
     /// Synchronize all ranks — no rank leaves before every rank arrived.
     pub fn barrier(&self) {
         let n = self.ranks();
-        if n == 1 {
-            return;
-        }
         // Push out buffered aggregation batches before the first signal.
         // A target's final barrier signal transitively depends on every
         // rank's arrival, i.e. it lands in the target's single FIFO inbox
@@ -25,6 +22,15 @@ impl Ctx {
         // can delay a batch past this ordering — use `agg_fence` for an
         // applied-at-target guarantee there.
         self.agg_flush();
+        if let Some(ck) = self.shared().fabric.checker() {
+            ck.barrier_enter(self.rank());
+        }
+        if n == 1 {
+            if let Some(ck) = self.shared().fabric.checker() {
+                ck.barrier_exit(self.rank());
+            }
+            return;
+        }
         let t0 = self.trace().start();
         let seq = self.shared().next_coll_seq(self.rank());
         let mut round = 0u64;
@@ -38,6 +44,9 @@ impl Ctx {
             dist <<= 1;
         }
         self.trace().span(EventKind::Barrier, -1, 0, t0);
+        if let Some(ck) = self.shared().fabric.checker() {
+            ck.barrier_exit(self.rank());
+        }
     }
 
     /// Memory fence: orders this rank's prior global-memory operations

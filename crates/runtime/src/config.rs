@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use rupcxx_net::{AggConfig, FaultPlan, SimNet};
+use rupcxx_net::{AggConfig, CheckConfig, FaultPlan, SimNet};
 use rupcxx_trace::TraceConfig;
 
 /// Parameters for an SPMD job.
@@ -32,6 +32,11 @@ pub struct RuntimeConfig {
     /// override with [`RuntimeConfig::with_agg`]. None = aggregation off
     /// (every buffered entry point falls through to the direct op).
     pub agg: Option<AggConfig>,
+    /// Online happens-before race / deadlock checker configuration.
+    /// [`RuntimeConfig::new`] seeds this from `RUPCXX_CHECK`; override
+    /// with [`RuntimeConfig::with_check`]. None = checking off (one
+    /// untaken branch per hook).
+    pub check: Option<CheckConfig>,
 }
 
 impl RuntimeConfig {
@@ -45,6 +50,7 @@ impl RuntimeConfig {
             trace: TraceConfig::from_env(),
             faults: FaultPlan::from_env(),
             agg: AggConfig::from_env(),
+            check: CheckConfig::from_env(),
         }
     }
 
@@ -64,6 +70,13 @@ impl RuntimeConfig {
     /// `RUPCXX_AGG`).
     pub fn with_agg(mut self, agg: AggConfig) -> Self {
         self.agg = Some(agg);
+        self
+    }
+
+    /// Install the online race/deadlock checker (overriding
+    /// `RUPCXX_CHECK`).
+    pub fn with_check(mut self, check: CheckConfig) -> Self {
+        self.check = Some(check);
         self
     }
 

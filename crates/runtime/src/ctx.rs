@@ -88,10 +88,22 @@ impl Ctx {
     /// Run one incoming active message.
     #[inline]
     fn execute(&self, msg: AmMessage) {
-        match msg.payload {
+        let AmMessage {
+            src,
+            payload,
+            clock,
+        } = msg;
+        // The checker's AM happens-before edge: everything this rank does
+        // from here on is ordered after the sender's send-time snapshot.
+        // Barriers, collectives, finish replies and async completions are
+        // all built on AM tasks, so this one join covers them all.
+        if let (Some(ck), Some(stamp)) = (self.shared.fabric.checker(), &clock) {
+            ck.join(self.rank, stamp);
+        }
+        match payload {
             AmPayload::Task(task) => task(),
             AmPayload::Handler { id, args } => {
-                (self.shared.handlers.get(id).clone())(self, msg.src, args)
+                (self.shared.handlers.get(id).clone())(self, src, args)
             }
             AmPayload::Batch { frames, .. } => {
                 // One inbox pop carries many logical ops: apply RMA
@@ -100,9 +112,11 @@ impl Ctx {
                 for frame in BatchReader::new(&frames) {
                     if let Frame::Handler { id, args } = frame {
                         let bytes = Bytes::copy_from_slice(args);
-                        (self.shared.handlers.get(id).clone())(self, msg.src, bytes);
+                        (self.shared.handlers.get(id).clone())(self, src, bytes);
                     } else {
-                        self.shared.fabric.apply_frame(self.rank, &frame);
+                        self.shared
+                            .fabric
+                            .apply_frame(self.rank, src, clock.as_ref(), &frame);
                     }
                 }
             }
@@ -147,6 +161,9 @@ impl Ctx {
     /// # Panics
     /// Panics when the fabric has recorded a delivery failure (fault
     /// injection only; see `rupcxx_net::PeerUnreachable`).
+    /// It is also where the deadlock checker acts: deeply idle waits
+    /// trigger its wait-for scan, and a confirmed deadlock panics the
+    /// blocked rank with the finding (mirroring `PeerUnreachable`).
     pub fn wait_until(&self, mut cond: impl FnMut() -> bool) {
         let mut idle_spins = 0u32;
         loop {
@@ -154,6 +171,14 @@ impl Ctx {
                 match self.shared.fabric.failure() {
                     Some(e) => panic!("{e}"),
                     None => panic!("fabric failed: peer unreachable"),
+                }
+            }
+            if let Some(ck) = self.shared.fabric.checker() {
+                if ck.is_aborted() {
+                    match ck.abort_message() {
+                        Some(m) => panic!("{m}"),
+                        None => panic!("rupcxx-check: deadlock detected"),
+                    }
                 }
             }
             if cond() {
@@ -166,6 +191,21 @@ impl Ctx {
             idle_spins += 1;
             if idle_spins > 16 {
                 std::thread::yield_now();
+            }
+            // Deep idle with the deadlock pass on: run the wait-for scan.
+            // `quiet` asserts nothing is queued or in flight anywhere —
+            // scans while traffic exists can never confirm a deadlock.
+            if idle_spins.is_multiple_of(2048) {
+                if let Some(ck) = self.shared.fabric.checker() {
+                    if ck.deadlock_on() {
+                        let n = self.ranks();
+                        let quiet = (0..n).all(|r| {
+                            self.shared.fabric.endpoint(r).pending() == 0
+                                && self.shared.fabric.links_quiescent(r)
+                        });
+                        ck.maybe_scan(quiet);
+                    }
+                }
             }
         }
     }
@@ -260,6 +300,9 @@ impl Ctx {
 
     /// Mark this rank's SPMD closure complete (used by the launcher).
     pub(crate) fn mark_complete(&self) {
+        if let Some(ck) = self.shared.fabric.checker() {
+            ck.rank_completed(self.rank);
+        }
         self.shared.completed.fetch_add(1, Ordering::AcqRel);
     }
 

@@ -43,6 +43,7 @@ impl EventCore {
 
 /// A completion event, cloneable and usable from any rank thread.
 #[derive(Clone, Default)]
+#[must_use = "an Event that is dropped unused can never be waited on"]
 pub struct Event {
     core: Arc<EventCore>,
 }
@@ -53,6 +54,13 @@ impl Event {
         Self::default()
     }
 
+    /// Checker identity for this event: the core allocation's address.
+    /// Reuse of a freed address can only *add* happens-before edges
+    /// (never remove them), so it cannot manufacture a false race.
+    fn check_key(&self) -> usize {
+        Arc::as_ptr(&self.core) as usize
+    }
+
     /// Register one more outstanding operation.
     pub fn register(&self) {
         self.core.outstanding.fetch_add(1, Ordering::AcqRel);
@@ -61,6 +69,11 @@ impl Event {
     /// Signal completion of one registered operation. Fires dependents when
     /// the outstanding count reaches zero.
     pub fn signal(&self) {
+        // Publish the signaling thread's clock to the event *before* the
+        // count drops: a waiter released by this signal must inherit
+        // everything that happened before it. `signal` has no ctx
+        // parameter, so the checker is reached through thread-locals.
+        rupcxx_check::with_current(|ck, rank| ck.event_signal(rank, self.check_key()));
         let prev = self.core.outstanding.fetch_sub(1, Ordering::AcqRel);
         assert!(prev > 0, "Event::signal without matching register");
         if prev == 1 {
@@ -96,7 +109,13 @@ impl Event {
     /// the paper.
     pub fn wait(&self, ctx: &Ctx) {
         let t0 = ctx.trace().start();
+        if let Some(ck) = ctx.shared().fabric.checker() {
+            ck.event_wait_begin(ctx.rank());
+        }
         ctx.wait_until(|| self.is_ready());
+        if let Some(ck) = ctx.shared().fabric.checker() {
+            ck.event_wait_end(ctx.rank(), self.check_key());
+        }
         ctx.trace().span(EventKind::EventWait, -1, 0, t0);
     }
 }
@@ -121,6 +140,7 @@ struct FutureCore<T> {
 ///
 /// Named `RtFuture` to avoid clashing with `std::future::Future`; the
 /// `rupcxx` crate re-exports it under the paper-flavoured name.
+#[must_use = "an async result that is never taken hides remote failures"]
 pub struct RtFuture<T> {
     core: Arc<FutureCore<T>>,
 }
@@ -169,7 +189,13 @@ impl<T: Send + 'static> RtFuture<T> {
     /// the paper's `future.get()`. Panics if the value was already taken.
     pub fn get(&self, ctx: &Ctx) -> T {
         let t0 = ctx.trace().start();
+        if let Some(ck) = ctx.shared().fabric.checker() {
+            ck.future_wait_begin(ctx.rank());
+        }
         ctx.wait_until(|| self.is_ready());
+        if let Some(ck) = ctx.shared().fabric.checker() {
+            ck.future_wait_end(ctx.rank());
+        }
         ctx.trace().span(EventKind::EventWait, -1, 0, t0);
         self.core
             .slot

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Tracks asyncs spawned within one `finish` scope.
+#[must_use = "a FinishScope that is dropped unused awaits nothing"]
 pub struct FinishScope<'a> {
     ctx: &'a Ctx,
     outstanding: Arc<AtomicUsize>,
@@ -93,8 +94,14 @@ impl<'a> FinishScope<'a> {
 
     fn wait(&self) {
         let t0 = self.ctx.trace().start();
+        if let Some(ck) = self.ctx.shared().fabric.checker() {
+            ck.finish_wait_begin(self.ctx.rank());
+        }
         self.ctx
             .wait_until(|| self.outstanding.load(Ordering::Acquire) == 0);
+        if let Some(ck) = self.ctx.shared().fabric.checker() {
+            ck.finish_wait_end(self.ctx.rank());
+        }
         self.ctx.trace().span(EventKind::FinishWait, -1, 0, t0);
     }
 }

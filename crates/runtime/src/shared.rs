@@ -1,7 +1,7 @@
 //! Process-wide state shared by all rank threads of one SPMD job.
 
 use crate::alloc::SegAllocator;
-use rupcxx_net::{AggConfig, Fabric, FabricConfig, FaultPlan, Rank, SimNet};
+use rupcxx_net::{AggConfig, CheckConfig, Fabric, FabricConfig, FaultPlan, Rank, SimNet};
 use rupcxx_trace::TraceConfig;
 use rupcxx_util::sync::Mutex;
 use rupcxx_util::Bytes;
@@ -156,14 +156,25 @@ impl Shared {
         handlers: HandlerRegistry,
         trace: TraceConfig,
     ) -> Arc<Self> {
-        Self::new_full(ranks, segment_bytes, simnet, handlers, trace, None, None)
+        Self::new_full(
+            ranks,
+            segment_bytes,
+            simnet,
+            handlers,
+            trace,
+            None,
+            None,
+            None,
+        )
     }
 
     /// The full constructor: [`Shared::new_traced`] plus an optional
     /// deterministic fault-injection plan (see `rupcxx-net`'s `faults`
-    /// module) and optional per-destination aggregation thresholds (its
-    /// `aggregate` module); the SPMD launcher passes
-    /// `RuntimeConfig::{faults, agg}` through.
+    /// module), optional per-destination aggregation thresholds (its
+    /// `aggregate` module) and an optional race/deadlock checker config
+    /// (`rupcxx-check`); the SPMD launcher passes
+    /// `RuntimeConfig::{faults, agg, check}` through.
+    #[allow(clippy::too_many_arguments)]
     pub fn new_full(
         ranks: usize,
         segment_bytes: usize,
@@ -172,6 +183,7 @@ impl Shared {
         trace: TraceConfig,
         faults: Option<FaultPlan>,
         agg: Option<AggConfig>,
+        check: Option<CheckConfig>,
     ) -> Arc<Self> {
         let fabric = Fabric::new(FabricConfig {
             ranks,
@@ -180,6 +192,7 @@ impl Shared {
             trace,
             faults,
             agg,
+            check,
         });
         Arc::new(Shared {
             fabric,

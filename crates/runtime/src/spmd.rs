@@ -49,6 +49,7 @@ where
         config.trace.clone(),
         config.faults.clone(),
         config.agg.clone(),
+        config.check.clone(),
     );
     let body = &body;
     let progress_stop = std::sync::atomic::AtomicBool::new(false);
@@ -62,6 +63,9 @@ where
                 std::thread::Builder::new()
                     .name(format!("rupcxx-progress-{rank}"))
                     .spawn_scoped(scope, move || {
+                        if let Some(ck) = shared.fabric.checker() {
+                            rupcxx_check::set_current(ck.clone(), rank);
+                        }
                         let ctx = Ctx::new(rank, shared);
                         while !progress_stop.load(std::sync::atomic::Ordering::Acquire) {
                             if ctx.advance() == 0 {
@@ -80,6 +84,11 @@ where
                 .stack_size(8 << 20);
             let handle = builder
                 .spawn_scoped(scope, move || {
+                    // Pin (checker, rank) in TLS so hooks without a ctx
+                    // parameter (Event::signal) can reach the checker.
+                    if let Some(ck) = shared.fabric.checker() {
+                        rupcxx_check::set_current(ck.clone(), rank);
+                    }
                     let ctx = Ctx::new(rank, shared);
                     let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
                     // Completion must be published even on panic, or the
@@ -108,7 +117,19 @@ where
         results
     });
     export_trace(&config, &shared);
+    export_check(&shared);
     results
+}
+
+/// Job-teardown checker export: write the report file (when configured)
+/// and print a one-line summary when anything was found.
+fn export_check(shared: &Shared) {
+    if let Some(ck) = shared.fabric.checker() {
+        let n = ck.export();
+        if n > 0 {
+            eprintln!("(rupcxx-check: {n} finding(s); see report above)");
+        }
+    }
 }
 
 /// Chrome-trace files already written by this process (suffixes the path

@@ -102,40 +102,54 @@ impl TraceConfig {
         self.mode != TraceMode::Off
     }
 
-    /// Parse `RUPCXX_TRACE=events[,path]` / `metrics` / `off` (and
-    /// `RUPCXX_TRACE_BUF=n` for the ring size). Unset or unrecognized
-    /// values mean disabled.
-    pub fn from_env() -> Self {
-        let var = match std::env::var("RUPCXX_TRACE") {
-            Ok(v) => v,
-            Err(_) => return TraceConfig::off(),
-        };
-        let mut parts = var.splitn(2, ',');
+    /// Parse a `RUPCXX_TRACE` value: `events[,path]` / `metrics` / `off`.
+    /// `Ok(None)` means explicitly off; malformed values are `Err`.
+    pub fn parse(raw: &str) -> Result<Option<Self>, String> {
+        let mut parts = raw.splitn(2, ',');
         let mode = match parts.next().unwrap_or("").trim() {
             "events" | "1" | "on" | "true" => TraceMode::Events,
             "metrics" => TraceMode::Metrics,
-            "" | "0" | "off" | "false" | "none" => TraceMode::Off,
-            other => {
-                eprintln!(
-                    "(RUPCXX_TRACE: unknown mode {other:?}; expected \
-                     \"metrics\" or \"events[,path]\" — tracing disabled)"
-                );
-                TraceMode::Off
+            "" | "0" | "off" | "false" | "none" => {
+                if raw.contains(',') {
+                    return Err("output path given but tracing is off".to_string());
+                }
+                return Ok(None);
             }
+            other => return Err(format!("unknown mode {other:?}")),
         };
-        let path = parts
-            .next()
-            .map(str::trim)
-            .filter(|p| !p.is_empty())
-            .map(String::from);
-        let ring_capacity = std::env::var("RUPCXX_TRACE_BUF")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok());
-        TraceConfig {
+        let path = match parts.next().map(str::trim) {
+            Some("") => return Err("empty output path after ','".to_string()),
+            p => p.map(String::from),
+        };
+        Ok(Some(TraceConfig {
             mode,
             path,
-            ring_capacity,
+            ring_capacity: None,
+        }))
+    }
+
+    /// Read `RUPCXX_TRACE` (and `RUPCXX_TRACE_BUF` for the ring size)
+    /// from the environment. Unset means disabled; malformed values
+    /// abort with a clear message.
+    pub fn from_env() -> Self {
+        let mut cfg = rupcxx_util::env::parse_env(
+            "RUPCXX_TRACE",
+            "metrics|events[,<path>]",
+            TraceConfig::parse,
+        )
+        .unwrap_or_default();
+        if let Ok(raw) = std::env::var("RUPCXX_TRACE_BUF") {
+            match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => cfg.ring_capacity = Some(n),
+                _ => rupcxx_util::env::invalid(
+                    "RUPCXX_TRACE_BUF",
+                    &raw,
+                    "not a positive integer",
+                    "<events-per-rank>",
+                ),
+            }
         }
+        cfg
     }
 
     /// The output path to use for the `n`-th traced job of this process.
@@ -413,5 +427,19 @@ mod tests {
         let d = TraceConfig::events();
         assert_eq!(d.numbered_path(0), DEFAULT_TRACE_PATH);
         assert_eq!(d.numbered_path(1), "rupcxx_trace.1.json");
+    }
+
+    #[test]
+    fn pure_parser_accepts_and_rejects() {
+        assert!(TraceConfig::parse("off").unwrap().is_none());
+        assert!(TraceConfig::parse("").unwrap().is_none());
+        let e = TraceConfig::parse("events,t.json").unwrap().unwrap();
+        assert_eq!(e.mode, TraceMode::Events);
+        assert_eq!(e.path.as_deref(), Some("t.json"));
+        let m = TraceConfig::parse("metrics").unwrap().unwrap();
+        assert_eq!(m.mode, TraceMode::Metrics);
+        assert!(TraceConfig::parse("eventz").is_err());
+        assert!(TraceConfig::parse("events,").is_err());
+        assert!(TraceConfig::parse("off,x.json").is_err());
     }
 }

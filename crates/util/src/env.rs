@@ -1,0 +1,74 @@
+//! Unified `RUPCXX_*` environment-variable parsing.
+//!
+//! Every subsystem toggle (`RUPCXX_TRACE`, `RUPCXX_FAULTS`, `RUPCXX_AGG`,
+//! `RUPCXX_CHECK`, …) goes through [`parse_env`]: the subsystem supplies a
+//! pure `&str -> Result<Option<T>, String>` parser, and this module owns
+//! the policy — an unset variable disables the feature, a well-formed
+//! value configures it, and a malformed value *aborts with a clear error*
+//! instead of being silently ignored (a typo in a fault plan or checker
+//! mode must never turn into an unchecked run that looks checked).
+
+/// Read and parse environment variable `name`.
+///
+/// * unset → `None` (feature off);
+/// * `parse(value)` returning `Ok(None)` → `None` (explicitly off);
+/// * `Ok(Some(cfg))` → `Some(cfg)`;
+/// * `Err(why)` → process abort naming the variable, the offending
+///   value, the reason, and the expected `syntax`.
+pub fn parse_env<T>(
+    name: &str,
+    syntax: &str,
+    parse: impl FnOnce(&str) -> Result<Option<T>, String>,
+) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match parse(&raw) {
+        Ok(cfg) => cfg,
+        Err(why) => invalid(name, &raw, &why, syntax),
+    }
+}
+
+/// Abort with the canonical malformed-variable message. Public so
+/// subsystems with auxiliary variables (e.g. `RUPCXX_TRACE_BUF`) can
+/// report in the same format.
+pub fn invalid(name: &str, raw: &str, why: &str, syntax: &str) -> ! {
+    panic!("invalid {name}={raw:?}: {why} (expected {syntax})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_flag(raw: &str) -> Result<Option<bool>, String> {
+        match raw {
+            "" | "off" => Ok(None),
+            "on" => Ok(Some(true)),
+            other => Err(format!("unknown value {other:?}")),
+        }
+    }
+
+    #[test]
+    fn unset_is_off() {
+        assert_eq!(
+            parse_env("RUPCXX_TEST_UNSET_VAR", "on|off", parse_flag),
+            None
+        );
+    }
+
+    #[test]
+    fn set_values_parse() {
+        std::env::set_var("RUPCXX_TEST_ENV_ON", "on");
+        assert_eq!(
+            parse_env("RUPCXX_TEST_ENV_ON", "on|off", parse_flag),
+            Some(true)
+        );
+        std::env::set_var("RUPCXX_TEST_ENV_OFF", "off");
+        assert_eq!(parse_env("RUPCXX_TEST_ENV_OFF", "on|off", parse_flag), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RUPCXX_TEST_ENV_BAD")]
+    fn malformed_value_aborts() {
+        std::env::set_var("RUPCXX_TEST_ENV_BAD", "bogus");
+        let _ = parse_env("RUPCXX_TEST_ENV_BAD", "on|off", parse_flag);
+    }
+}

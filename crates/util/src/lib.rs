@@ -8,6 +8,7 @@
 //! for the paper's "OpenMP within a rank" usage.
 
 pub mod bytesbuf;
+pub mod env;
 pub mod prop;
 pub mod rng;
 pub mod stats;

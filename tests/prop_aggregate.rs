@@ -31,6 +31,7 @@ fn fabric(agg: Option<AggConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> {
         trace: TraceConfig::off(),
         faults,
         agg,
+        check: None,
     })
 }
 
@@ -65,6 +66,7 @@ fn drain_rank(f: &Fabric, me: usize) -> Option<Vec<u16>> {
     for _ in 0..100_000 {
         f.pump_incoming(me);
         for m in f.endpoint(me).drain() {
+            let (src, clock) = (m.src, m.clock);
             match m.payload {
                 AmPayload::Handler { id, .. } => got.push(id),
                 AmPayload::Batch { frames, .. } => {
@@ -72,7 +74,7 @@ fn drain_rank(f: &Fabric, me: usize) -> Option<Vec<u16>> {
                         if let Frame::Handler { id, .. } = frame {
                             got.push(id);
                         } else {
-                            f.apply_frame(me, &frame);
+                            f.apply_frame(me, src, clock.as_ref(), &frame);
                         }
                     }
                 }

@@ -25,6 +25,7 @@ fn faulty_fabric(plan: FaultPlan) -> Arc<Fabric> {
         trace: TraceConfig::off(),
         faults: Some(plan),
         agg: None,
+        check: None,
     })
 }
 
