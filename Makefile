@@ -28,12 +28,17 @@ chaos:
 
 # The rupcxx-check gate: the seeded racy corpus must flag every planted
 # bug and the clean benchmarks must produce zero findings (README
-# "Correctness checking").
+# "Correctness checking") — also with the read cache enabled, where
+# hits and line fills must not manufacture false findings.
 check-race:
 	$(CARGO) test -q --test check_corpus
 	$(CARGO) test -q --test check_clean
+	RUPCXX_CACHE=on $(CARGO) test -q --test check_clean
 
-# Short calibrated aggregation run: asserts the batched path uses no
-# more wire frames than per-op and regenerates BENCH_aggregation.json.
+# Short calibrated bench runs: aggregation asserts the batched path uses
+# no more wire frames than per-op (BENCH_aggregation.json); caching
+# asserts a >=5x remote-get reduction with bit-for-bit identical data
+# and an untouched cache-off path (BENCH_caching.json).
 bench-smoke:
 	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench aggregation
+	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench caching

@@ -74,9 +74,14 @@ pub struct GupsResult {
 pub fn run(ctx: &Ctx, cfg: &GupsConfig) -> GupsResult {
     assert!(cfg.table_size.is_power_of_two(), "table size must be 2^k");
     let table = SharedArray::<u64>::new(ctx, cfg.table_size, 1);
-    // Table[i] = i initially (HPCC convention).
-    for i in table.my_indices(ctx).collect::<Vec<_>>() {
-        table.write(ctx, i, i as u64);
+    // Table[i] = i initially (HPCC convention). Owner-computes through
+    // the privatized local slice — no per-element fabric traffic.
+    for (slot, i) in table
+        .local_slice_mut(ctx)
+        .iter_mut()
+        .zip(table.my_indices(ctx))
+    {
+        *slot = i as u64;
     }
     let direct = UpcDirectTable::new(ctx, &table);
     if cfg.variant == Variant::UpcDirect {
@@ -99,8 +104,8 @@ pub fn run(ctx: &Ctx, cfg: &GupsConfig) -> GupsResult {
     // Whole-table checksum before the (state-restoring) verify pass;
     // each rank sums its own portion locally.
     let mut local_sum = 0u64;
-    for i in table.my_indices(ctx).collect::<Vec<_>>() {
-        local_sum = local_sum.wrapping_add(table.read(ctx, i));
+    for &v in table.local_slice(ctx) {
+        local_sum = local_sum.wrapping_add(v);
     }
     let checksum = ctx.allreduce(local_sum, u64::wrapping_add);
 
@@ -110,8 +115,8 @@ pub fn run(ctx: &Ctx, cfg: &GupsConfig) -> GupsResult {
         run_updates(ctx, cfg, &table, direct.as_ref());
         ctx.barrier();
         let mut ok = true;
-        for i in table.my_indices(ctx).collect::<Vec<_>>() {
-            if table.read(ctx, i) != i as u64 {
+        for (&v, i) in table.local_slice(ctx).iter().zip(table.my_indices(ctx)) {
+            if v != i as u64 {
                 ok = false;
                 break;
             }

@@ -169,9 +169,11 @@ pub fn run(ctx: &Ctx, cfg: &StencilConfig) -> StencilResult {
     }
     let seconds = ctx.allreduce(t.seconds(), f64::max);
 
-    // Checksum over the interior.
+    // Checksum over the interior, through the privatized local accessor
+    // (the final barrier of the iteration loop is the acquiring sync).
+    let g = LocalGrid::new(ctx, &cur);
     let mut local_sum = 0.0;
-    interior.for_each(|p| local_sum += cur.get(ctx, p));
+    interior.for_each(|p| local_sum += g.at(p[0], p[1], p[2]));
     let checksum = ctx.allreduce(local_sum, |x, y| x + y);
 
     let pts = (cfg.local_edge.pow(3) * ctx.ranks()) as f64;

@@ -36,6 +36,7 @@ fn fabric(agg: Option<AggConfig>) -> Arc<Fabric> {
         faults: None,
         agg,
         check: None,
+        cache: None,
     })
 }
 

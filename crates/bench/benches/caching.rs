@@ -1,0 +1,309 @@
+//! Ablation: software read cache for fine-grained remote gets
+//! (`RUPCXX_CACHE`) — per-word fabric gets vs line-granular fills served
+//! from the initiator-side cache.
+//!
+//! The workload is a ghost-zone-consumer pattern: repeated sequential
+//! sweeps over a remote rank's table, one 8-byte get per word. Uncached,
+//! every read is a fabric op (a full round trip on real hardware);
+//! cached, the first sweep fills whole lines and later sweeps hit. Two
+//! latency benchmarks time the sweep under synthetic NIC timing
+//! (`SimNet::hpc_nic`), then a fixed-size counted run compares fabric
+//! get counts via `CommStats`, checks bit-for-bit equality of every word
+//! read (including after a write-through update), and writes
+//! `results/BENCH_caching.json`. `make bench-smoke` runs this with
+//! `RUPCXX_BENCH_SMOKE=1` as a CI gate on the deterministic criteria:
+//! ≥5x fewer remote get fabric ops, hit rate > 0, identical data.
+
+use rupcxx_bench::criterion_group;
+use rupcxx_bench::harness::Criterion;
+use rupcxx_bench::report;
+use rupcxx_net::{CacheConfig, Fabric, FabricConfig, GlobalAddr, SimNet};
+use rupcxx_trace::TraceConfig;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Words of table state on the target rank.
+const WORDS: usize = 4096;
+/// Sweeps over the table in the counted run (re-reads hit the cache).
+const PASSES: usize = 4;
+
+fn smoke() -> bool {
+    std::env::var_os("RUPCXX_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn fabric(cache: Option<CacheConfig>, simnet: Option<SimNet>) -> Arc<Fabric> {
+    Fabric::new(FabricConfig {
+        ranks: 2,
+        segment_bytes: WORDS * 8,
+        simnet,
+        trace: TraceConfig::off(),
+        faults: None,
+        agg: None,
+        check: None,
+        cache,
+    })
+}
+
+/// Deterministic table contents (written by the owner, so the writes
+/// never touch the reader's cache).
+fn seed_table(f: &Fabric) {
+    for w in 0..WORDS {
+        let v = (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5;
+        f.put_u64(1, GlobalAddr::new(1, w * 8), v);
+    }
+}
+
+/// One sequential sweep: rank 0 reads every word of rank 1's table.
+fn sweep(f: &Fabric) -> u64 {
+    let mut sum = 0u64;
+    for w in 0..WORDS {
+        sum = sum.wrapping_add(f.get_u64(0, GlobalAddr::new(1, w * 8)));
+    }
+    sum
+}
+
+fn bench_caching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remote_get_sweep");
+    g.sample_size(if smoke() { 3 } else { 10 });
+
+    // Both variants run under the same synthetic NIC timing, so the
+    // measured gap is the fabric ops the cache removed.
+    g.bench_function("uncached", |b| {
+        let f = fabric(None, Some(SimNet::hpc_nic()));
+        seed_table(&f);
+        b.iter_custom(|iters| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(sweep(&f));
+            }
+            t.elapsed()
+        })
+    });
+
+    g.bench_function("cached_default_line", |b| {
+        let f = fabric(Some(CacheConfig::default()), Some(SimNet::hpc_nic()));
+        seed_table(&f);
+        b.iter_custom(|iters| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(sweep(&f));
+            }
+            t.elapsed()
+        })
+    });
+
+    g.finish();
+}
+
+/// Fabric-op accounting of one fixed read stream on both paths.
+struct FillComparison {
+    reads: u64,
+    uncached_gets: u64,
+    cached_gets: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    uncached_cache_hits: u64,
+    hit_rate: f64,
+}
+
+fn fill_comparison() -> FillComparison {
+    let plain = fabric(None, None);
+    let cached = fabric(Some(CacheConfig::default()), None);
+    seed_table(&plain);
+    seed_table(&cached);
+    plain.reset_counts();
+    cached.reset_counts();
+
+    let mut a = 0u64;
+    let mut b = 0u64;
+    for _ in 0..PASSES {
+        a = a.wrapping_add(sweep(&plain));
+        b = b.wrapping_add(sweep(&cached));
+    }
+    assert_eq!(a, b, "cached sweep checksum diverged");
+
+    let p = plain.endpoint(0).stats.snapshot();
+    let c = cached.endpoint(0).stats.snapshot();
+
+    // Both paths must return every word bit-for-bit identical — also
+    // after a write-through update from the reading rank.
+    for w in 0..WORDS {
+        let addr = GlobalAddr::new(1, w * 8);
+        assert_eq!(
+            plain.get_u64(0, addr),
+            cached.get_u64(0, addr),
+            "cached read diverged at word {w}"
+        );
+    }
+    let touched = GlobalAddr::new(1, 8);
+    plain.put_u64(0, touched, 0xDEAD_BEEF);
+    cached.put_u64(0, touched, 0xDEAD_BEEF);
+    assert_eq!(
+        plain.get_u64(0, touched),
+        cached.get_u64(0, touched),
+        "read-your-own-write diverged"
+    );
+
+    FillComparison {
+        reads: (WORDS * PASSES) as u64,
+        uncached_gets: p.gets,
+        cached_gets: c.gets,
+        cache_hits: c.cache_hits,
+        cache_misses: c.cache_misses,
+        uncached_cache_hits: p.cache_hits,
+        hit_rate: c.cache_hits as f64 / (c.cache_hits + c.cache_misses).max(1) as f64,
+    }
+}
+
+/// One row of the line-size sweep.
+struct SweepRow {
+    line_bytes: usize,
+    fills: u64,
+    hit_rate: f64,
+    ns_per_read: f64,
+}
+
+/// Sweep the line size over the fixed read stream: fills fall as
+/// ~words/(line/8) while the in-process time per read stays roughly flat
+/// (the fill win is what the performance model charges per-op latency
+/// for).
+fn line_sweep() -> Vec<SweepRow> {
+    [64usize, 256, 1024, 4096]
+        .into_iter()
+        .map(|line_bytes| {
+            let f = fabric(
+                Some(CacheConfig {
+                    capacity_bytes: 1 << 20,
+                    line_bytes,
+                }),
+                None,
+            );
+            seed_table(&f);
+            f.reset_counts();
+            let t = Instant::now();
+            let mut sum = 0u64;
+            for _ in 0..PASSES {
+                sum = sum.wrapping_add(sweep(&f));
+            }
+            std::hint::black_box(sum);
+            let ns = t.elapsed().as_nanos() as f64 / (WORDS * PASSES) as f64;
+            let s = f.endpoint(0).stats.snapshot();
+            SweepRow {
+                line_bytes,
+                fills: s.gets,
+                hit_rate: s.cache_hits as f64 / (s.cache_hits + s.cache_misses).max(1) as f64,
+                ns_per_read: ns,
+            }
+        })
+        .collect()
+}
+
+fn write_json(
+    fc: &FillComparison,
+    rows: &[SweepRow],
+    results: &[rupcxx_bench::harness::BenchResult],
+) {
+    let ns_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == format!("remote_get_sweep/{name}"))
+            .map_or(0.0, |r| r.mean_ns)
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"reads\": {},", fc.reads);
+    let _ = writeln!(out, "  \"uncached_fabric_gets\": {},", fc.uncached_gets);
+    let _ = writeln!(out, "  \"cached_fabric_gets\": {},", fc.cached_gets);
+    let _ = writeln!(out, "  \"cache_hits\": {},", fc.cache_hits);
+    let _ = writeln!(out, "  \"cache_misses\": {},", fc.cache_misses);
+    let _ = writeln!(
+        out,
+        "  \"fabric_get_reduction\": {:.2},",
+        fc.uncached_gets as f64 / fc.cached_gets.max(1) as f64
+    );
+    let _ = writeln!(out, "  \"hit_rate\": {:.4},", fc.hit_rate);
+    let _ = writeln!(
+        out,
+        "  \"uncached_sweep_mean_ns\": {:.1},",
+        ns_of("uncached")
+    );
+    let _ = writeln!(
+        out,
+        "  \"cached_sweep_mean_ns\": {:.1},",
+        ns_of("cached_default_line")
+    );
+    out.push_str("  \"line_sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"line_bytes\": {}, \"fills\": {}, \"hit_rate\": {:.4}, \"ns_per_read\": {:.1}}}{}",
+            r.line_bytes,
+            r.fills,
+            r.hit_rate,
+            r.ns_per_read,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"smoke\": {}", smoke());
+    out.push_str("}\n");
+    let path = format!("{}/BENCH_caching.json", report::RESULTS_DIR);
+    if let Err(e) =
+        std::fs::create_dir_all(report::RESULTS_DIR).and_then(|_| std::fs::write(&path, &out))
+    {
+        eprintln!("(could not write {path}: {e})");
+    } else {
+        println!("[written {path}]");
+    }
+}
+
+criterion_group!(benches, bench_caching);
+
+fn main() {
+    // Land results/ at the workspace root regardless of cargo's bench CWD
+    // (the package directory).
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let _ = std::env::set_current_dir(root);
+
+    benches();
+    let results = rupcxx_bench::harness::take_results();
+    let fc = fill_comparison();
+    println!(
+        "fills: {} reads -> {} uncached fabric gets vs {} line fills ({:.1}x reduction, {:.1}% hit rate)",
+        fc.reads,
+        fc.uncached_gets,
+        fc.cached_gets,
+        fc.uncached_gets as f64 / fc.cached_gets.max(1) as f64,
+        fc.hit_rate * 100.0
+    );
+    let rows = line_sweep();
+    println!("line sweep: line_bytes -> fills, hit rate, ns/read");
+    for r in &rows {
+        println!(
+            "  {:>5} -> {:>5} fills  {:>6.1}% hits  {:>7.1} ns",
+            r.line_bytes,
+            r.fills,
+            r.hit_rate * 100.0,
+            r.ns_per_read
+        );
+    }
+    write_json(&fc, &rows, &results);
+    report::emit_bench_trace(&results);
+
+    // The smoke gate: the uncached path must not have touched the cache
+    // at all, and the cached path must cut remote get fabric ops by at
+    // least the tentpole's 5x while returning identical data (asserted
+    // word-for-word in `fill_comparison`).
+    assert_eq!(fc.uncached_gets, fc.reads);
+    assert_eq!(
+        fc.uncached_cache_hits, 0,
+        "cache-off path touched the cache"
+    );
+    assert!(fc.cache_hits > 0, "cached sweep never hit");
+    assert!(
+        5 * fc.cached_gets <= fc.uncached_gets,
+        "under 5x fabric-get reduction: {} cached vs {} uncached",
+        fc.cached_gets,
+        fc.uncached_gets
+    );
+}

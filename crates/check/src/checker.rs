@@ -262,6 +262,48 @@ impl Checker {
         }
     }
 
+    /// A software-cache hit: `initiator` read `[offset, offset+len)` of
+    /// `target`'s segment from a line filled at `fill`. The fabric records
+    /// the hit as an ordinary read at the current clock separately (for
+    /// plain race detection); this hook adds the staleness check: a write
+    /// ordered strictly *after* the fill cannot be reflected in the cached
+    /// data, so finding one proves the hit returned a stale value. Clean
+    /// programs never trigger this: synchronizing with a writer through
+    /// `barrier()`/`fence()` invalidates the cache first, so the next read
+    /// is a fresh fill ordered after the write.
+    pub fn cache_read(
+        &self,
+        initiator: usize,
+        target: usize,
+        offset: usize,
+        len: usize,
+        fill: &Stamp,
+    ) {
+        if !self.cfg.race || len == 0 {
+            return;
+        }
+        let stale = self.shadows[target].lock().stale_writes(offset, len, fill);
+        for w in stale {
+            let key = format!(
+                "stale:{target}:{offset}:{len}:{initiator}:{}:{}",
+                w.initiator, w.op
+            );
+            let message = format!(
+                "stale cached read of rank {target}'s segment \
+                 [0x{offset:x}..0x{:x}) by rank {initiator}: the line was \
+                 filled at {fill} but the {} `{}` by rank {} at {} is \
+                 ordered after the fill — the reader synchronized with the \
+                 writer without a barrier()/fence() to invalidate the cache",
+                offset + len,
+                w.kind,
+                w.op,
+                w.initiator,
+                w.clock,
+            );
+            self.report(FindingKind::StaleCachedRead, key, message);
+        }
+    }
+
     // ---- barrier hooks --------------------------------------------------
 
     /// A rank arrives at `barrier()`: flag locks held across the barrier,

@@ -19,6 +19,12 @@ pub enum FindingKind {
     /// Ranks disagree on the number of `barrier()` episodes: a blocked
     /// barrier whose missing participant already exited the job.
     BarrierMismatch,
+    /// A software-cache hit returned data whose line was filled *before* a
+    /// write that is ordered before the read — the reader synchronized
+    /// with the writer without an intervening cache invalidation
+    /// (`barrier()`/`fence()`), so it observed a stale value a coherent
+    /// memory could never return.
+    StaleCachedRead,
     /// A confirmed global deadlock that matches no more specific pattern.
     Deadlock,
 }
@@ -31,6 +37,7 @@ impl std::fmt::Display for FindingKind {
             FindingKind::LockAcrossBarrier => "lock-across-barrier",
             FindingKind::EventNeverSignaled => "event-never-signaled",
             FindingKind::BarrierMismatch => "barrier-mismatch",
+            FindingKind::StaleCachedRead => "stale-cached-read",
             FindingKind::Deadlock => "deadlock",
         })
     }

@@ -135,6 +135,27 @@ impl Shadow {
         self.records.retain(|r| !leq(&r.clock.0, &min.0));
     }
 
+    /// Records of writes/atomics overlapping `[start, start+len)` that are
+    /// strictly happens-*after* `fill` — i.e. writes a cached line filled
+    /// at `fill` cannot reflect. Used by the software read cache's
+    /// stale-hit check: a hit whose reader is synchronized with such a
+    /// write observed a value a coherent memory could never return.
+    /// (Writes *concurrent* with `fill` are not returned — those already
+    /// race with the fill's own read record and are reported as
+    /// [`crate::FindingKind::DataRace`].)
+    pub fn stale_writes(&self, start: usize, len: usize, fill: &Stamp) -> Vec<AccessRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.kind != AccessKind::Read
+                    && r.overlaps(start, len)
+                    && fill.leq(&r.clock)
+                    && !r.clock.leq(fill)
+            })
+            .cloned()
+            .collect()
+    }
+
     /// Number of live records (tests and diagnostics).
     pub fn len(&self) -> usize {
         self.records.len()
@@ -228,6 +249,28 @@ mod tests {
         let _ = s.insert(rec(0, 0, 8, AccessKind::Write, &[1, 0]), no_min);
         let _ = s.insert(rec(0, 0, 8, AccessKind::Write, &[2, 0]), no_min);
         assert_eq!(s.len(), 1, "happens-after same-shape access replaces");
+    }
+
+    #[test]
+    fn stale_writes_finds_only_writes_ordered_after_fill() {
+        let mut s = Shadow::default();
+        let _ = s.insert(rec(0, 0, 8, AccessKind::Write, &[1, 0]), no_min);
+        let _ = s.insert(rec(1, 8, 8, AccessKind::Write, &[5, 5]), no_min);
+        let _ = s.insert(rec(1, 0, 8, AccessKind::Read, &[5, 5]), no_min);
+        let fill = stamp(&[2, 2]);
+        // The write at <1,0> is before the fill; the read at <5,5> is a
+        // read; only a write after the fill in the overlapping range hits.
+        assert!(s.stale_writes(0, 8, &fill).is_empty());
+        let _ = s.insert(rec(1, 4, 8, AccessKind::Write, &[2, 6]), no_min);
+        let hits = s.stale_writes(0, 8, &fill);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].initiator, 1);
+        // A write concurrent with the fill is not "stale" (it is a plain
+        // data race with the fill's read record instead).
+        let _ = s.insert(rec(0, 0, 8, AccessKind::Write, &[9, 0]), no_min);
+        assert_eq!(s.stale_writes(0, 8, &fill).len(), 1);
+        // Disjoint ranges never hit.
+        assert!(s.stale_writes(16, 8, &fill).is_empty());
     }
 
     #[test]

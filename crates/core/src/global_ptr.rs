@@ -174,6 +174,72 @@ impl<T: Pod> GlobalPtr<T> {
     pub fn cast<U: Pod>(&self) -> GlobalPtr<U> {
         GlobalPtr::from_addr(self.addr)
     }
+
+    /// Validate this pointer for privatized access to `count` elements
+    /// and resolve it to a raw word pointer. Panics unless the target has
+    /// local affinity, `T` is an 8-byte word type, the address is
+    /// word-aligned and the range is in bounds — the same validate-once
+    /// constraints as `LocalGrid`.
+    fn privatize(&self, ctx: &Ctx, count: usize) -> *mut u64 {
+        assert_eq!(
+            self.addr.rank,
+            ctx.rank(),
+            "privatization requires local affinity (owner rank {}, calling rank {})",
+            self.addr.rank,
+            ctx.rank()
+        );
+        assert_eq!(
+            std::mem::size_of::<T>(),
+            8,
+            "privatization needs word elements"
+        );
+        ctx.fabric()
+            .endpoint(ctx.rank())
+            .segment
+            .privatize_ptr(self.addr.offset, count * 8)
+    }
+
+    /// Privatize a locally owned object: the paper's "downcast a
+    /// `global_ptr` with local affinity to a raw `T*`" (§III-B), which is
+    /// how UPC++ programs privatize the local portion of shared data.
+    /// Validates affinity/alignment once and returns a direct reference;
+    /// reads through it compile to plain loads — no fabric dispatch, no
+    /// stats, no per-access bounds check, and no read-cache lookup.
+    ///
+    /// The reference aliases globally addressable memory. Holding it
+    /// across an access by another rank to the same element is an
+    /// unsynchronized conflicting access under the paper's relaxed memory
+    /// model — keep privatized use inside a phase delimited by
+    /// `barrier()`/`fence()`. (The race checker does not observe
+    /// privatized accesses; it sees only the sync points around them.)
+    pub fn local_ref<'a>(&self, ctx: &'a Ctx) -> &'a T {
+        &self.local_slice(ctx, 1)[0]
+    }
+
+    /// Privatize `count` consecutive locally owned elements as a slice
+    /// (see [`GlobalPtr::local_ref`] for the synchronization contract).
+    pub fn local_slice<'a>(&self, ctx: &'a Ctx, count: usize) -> &'a [T] {
+        let p = self.privatize(ctx, count);
+        // SAFETY: `privatize` checked affinity, element size, alignment
+        // and bounds; `T: Pod` accepts any bit pattern, and the segment
+        // (owned by `ctx`'s shared state) outlives `'a`. Freedom from
+        // concurrent writers is the caller's contract, per the PGAS
+        // ownership discipline documented above.
+        unsafe { std::slice::from_raw_parts(p as *const T, count) }
+    }
+
+    /// Privatize `count` consecutive locally owned elements for mutation.
+    /// In addition to the [`GlobalPtr::local_ref`] contract, the caller
+    /// must be the *only* accessor of the range while the slice is live —
+    /// the owner-computes phase of GUPS/stencil-style kernels, with
+    /// barriers on both sides.
+    #[allow(clippy::mut_from_ref)]
+    pub fn local_slice_mut<'a>(&self, ctx: &'a Ctx, count: usize) -> &'a mut [T] {
+        let p = self.privatize(ctx, count);
+        // SAFETY: as in `local_slice`, plus the documented exclusivity
+        // contract (sole accessor between two sync points).
+        unsafe { std::slice::from_raw_parts_mut(p as *mut T, count) }
+    }
 }
 
 impl GlobalPtr<u64> {
@@ -339,6 +405,40 @@ mod tests {
             p.rput_agg(ctx, 9);
             assert_eq!(p.rget(ctx), 9);
             deallocate(ctx, p);
+        });
+    }
+
+    #[test]
+    fn privatized_slice_agrees_with_fabric_path() {
+        spmd(cfg(2), |ctx| {
+            let p = allocate::<u64>(ctx, ctx.rank(), 16).expect("alloc");
+            let data: Vec<u64> = (0..16).map(|i| i as u64 * 7 + ctx.rank() as u64).collect();
+            p.rput_slice(ctx, &data);
+            assert_eq!(p.local_slice(ctx, 16), &data[..]);
+            assert_eq!(*p.offset(3).local_ref(ctx), data[3]);
+            // Mutate privately, read back through the fabric.
+            p.local_slice_mut(ctx, 16)[5] = 4242;
+            assert_eq!(p.offset(5).rget(ctx), 4242);
+            ctx.barrier();
+            deallocate(ctx, p);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "local affinity")]
+    fn privatizing_a_remote_pointer_panics() {
+        spmd(cfg(2), |ctx| {
+            let p = allocate::<u64>(ctx, 1 - ctx.rank(), 4).expect("alloc");
+            let _ = p.local_slice(ctx, 4);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "word elements")]
+    fn privatizing_non_word_elements_panics() {
+        spmd(cfg(1), |ctx| {
+            let p = allocate::<u16>(ctx, 0, 4).expect("alloc");
+            let _ = p.local_slice(ctx, 4);
         });
     }
 

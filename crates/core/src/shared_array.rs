@@ -118,6 +118,37 @@ impl<T: Pod> SharedArray<T> {
         GlobalPtr::from_addr(self.bases[rank])
     }
 
+    /// Number of elements owned by `rank`. The owned elements occupy
+    /// `rank`'s local portion contiguously (local slots `0..owned`): each
+    /// owned block packs `block` consecutive slots, and only the array's
+    /// final block can be partial.
+    pub fn owned_len(&self, rank: Rank) -> usize {
+        let nblocks = self.size.div_ceil(self.block.max(1));
+        (rank..nblocks)
+            .step_by(self.ranks)
+            .map(|b| self.block.min(self.size - b * self.block))
+            .sum()
+    }
+
+    /// Privatize the calling rank's local portion as a slice — the
+    /// owner-computes fast path of `upc_forall`-style loops. Element `j`
+    /// of the slice is the `j`-th element this rank owns, i.e. the same
+    /// sequence [`SharedArray::my_indices`] walks. Validates affinity and
+    /// element width once; see [`GlobalPtr::local_ref`] for the
+    /// synchronization contract.
+    pub fn local_slice<'a>(&self, ctx: &'a Ctx) -> &'a [T] {
+        self.base_of(ctx.rank())
+            .local_slice(ctx, self.owned_len(ctx.rank()))
+    }
+
+    /// Privatize the calling rank's local portion for mutation (sole
+    /// accessor between two sync points — see
+    /// [`GlobalPtr::local_slice_mut`]).
+    pub fn local_slice_mut<'a>(&self, ctx: &'a Ctx) -> &'a mut [T] {
+        self.base_of(ctx.rank())
+            .local_slice_mut(ctx, self.owned_len(ctx.rank()))
+    }
+
     /// Collectively destroy the array, freeing every rank's portion.
     pub fn destroy(self, ctx: &Ctx) {
         ctx.barrier();
@@ -238,6 +269,36 @@ mod tests {
             ctx.agg_fence();
             for i in 0..8 {
                 assert_eq!(a.read(ctx, i), 0b11, "element {i}");
+            }
+            a.destroy(ctx);
+        });
+    }
+
+    #[test]
+    fn local_slice_matches_my_indices() {
+        spmd(cfg(3), |ctx| {
+            let a = SharedArray::<u64>::new(ctx, 25, 2);
+            for i in a.my_indices(ctx).collect::<Vec<_>>() {
+                a.write(ctx, i, 1000 + i as u64);
+            }
+            ctx.barrier();
+            let mine: Vec<usize> = a.my_indices(ctx).collect();
+            assert_eq!(a.owned_len(ctx.rank()), mine.len());
+            let total: usize = (0..3).map(|r| a.owned_len(r)).sum();
+            assert_eq!(total, 25);
+            let local = a.local_slice(ctx);
+            for (j, &i) in mine.iter().enumerate() {
+                assert_eq!(local[j], 1000 + i as u64, "slot {j} = element {i}");
+            }
+            // Owner-computes mutation, visible through the fabric path.
+            ctx.barrier();
+            let lm = a.local_slice_mut(ctx);
+            for v in lm.iter_mut() {
+                *v += 1;
+            }
+            ctx.barrier();
+            for i in 0..25 {
+                assert_eq!(a.read(ctx, i), 1001 + i as u64, "element {i}");
             }
             a.destroy(ctx);
         });

@@ -373,6 +373,7 @@ impl Fabric {
     /// the destination's progress engine at delivery).
     pub fn xor_u64_buffered(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
         if self.endpoints[initiator].agg.is_some() && dst.rank != initiator {
+            self.invalidate_own(initiator, dst, 8);
             self.agg_push(initiator, dst.rank, |b| {
                 encode_word(b, TAG_XOR, dst.offset, value)
             });
@@ -384,6 +385,7 @@ impl Fabric {
     /// Buffered remote add (no fetched result).
     pub fn add_u64_buffered(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
         if self.endpoints[initiator].agg.is_some() && dst.rank != initiator {
+            self.invalidate_own(initiator, dst, 8);
             self.agg_push(initiator, dst.rank, |b| {
                 encode_word(b, TAG_ADD, dst.offset, value)
             });
@@ -399,6 +401,7 @@ impl Fabric {
             && dst.rank != initiator
             && data.len() <= AGG_MAX_PUT
         {
+            self.invalidate_own(initiator, dst, data.len());
             self.agg_push(initiator, dst.rank, |b| encode_put(b, dst.offset, data));
         } else {
             self.put(initiator, dst, data);
@@ -492,6 +495,7 @@ mod tests {
             faults: None,
             agg: Some(cfg),
             check: None,
+            cache: None,
         })
     }
 
@@ -654,6 +658,7 @@ mod tests {
             faults: None,
             agg: None,
             check: None,
+            cache: None,
         });
         assert!(!plain.agg_enabled(0));
         plain.xor_u64_buffered(0, GlobalAddr::new(1, 0), 9);
@@ -703,6 +708,7 @@ mod tests {
             faults: Some(crate::faults::FaultPlan::new(3).dup(1.0)),
             agg: Some(AggConfig::new().flush_count(8)),
             check: None,
+            cache: None,
         });
         for _ in 0..8 {
             f.add_u64_buffered(0, GlobalAddr::new(1, 0), 1);

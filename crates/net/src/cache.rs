@@ -1,0 +1,429 @@
+//! Software read cache for remote global-memory gets.
+//!
+//! The canonical PGAS runtime optimization (Titanium/UPC software caches):
+//! a per-rank, line-granular cache of *remote* segment data, filled on get
+//! misses through the normal fabric path and kept coherent by
+//!
+//! * **write-through invalidation** — every put/atomic the rank itself
+//!   issues drops the lines it covers, so a rank always reads its own
+//!   writes;
+//! * **sync-point invalidation** — `barrier()`/`fence()` (and the fences
+//!   built on them) discard the whole cache, so anything another rank
+//!   wrote before the synchronization is re-fetched after it.
+//!
+//! Between synchronization points a cached read may return a value that
+//! is *stale* with respect to another rank's un-synchronized write — but
+//! under the paper's relaxed memory-consistency model (§III-F) such a
+//! pair of accesses is unordered anyway, so any value the uncached fabric
+//! could have returned remains a legal outcome. The cache therefore never
+//! changes the set of admissible results of a data-race-free program.
+//!
+//! Enable with `RUPCXX_CACHE=capacity_bytes,line_bytes` (or `on` for the
+//! defaults) or `RuntimeConfig::with_cache`. When off the fabric pays one
+//! untaken branch per get and nothing else — the same zero-cost pattern
+//! as aggregation, fault injection and the checker.
+
+use rupcxx_check::Stamp;
+use rupcxx_util::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Read-cache configuration, normally parsed from `RUPCXX_CACHE`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total cache capacity per rank in bytes.
+    pub capacity_bytes: usize,
+    /// Cache line size in bytes (power of two, ≥ 8).
+    pub line_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 1 << 20,
+            line_bytes: 256,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Default capacity and line size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the total per-rank capacity in bytes.
+    pub fn capacity_bytes(mut self, bytes: usize) -> Self {
+        self.capacity_bytes = bytes;
+        self
+    }
+
+    /// Set the line size in bytes (power of two, ≥ 8).
+    pub fn line_bytes(mut self, bytes: usize) -> Self {
+        self.line_bytes = bytes;
+        self
+    }
+
+    /// Parse a `RUPCXX_CACHE` value. `Ok(None)` means explicitly off;
+    /// `Err` carries a description of what was wrong.
+    pub fn parse(raw: &str) -> Result<Option<Self>, String> {
+        let raw = raw.trim();
+        match raw {
+            "" | "off" | "0" => return Ok(None),
+            "on" | "1" => return Ok(Some(CacheConfig::default())),
+            _ => {}
+        }
+        let (cap, line) = raw
+            .split_once(',')
+            .ok_or_else(|| "expected two comma-separated fields".to_string())?;
+        let capacity_bytes: usize = cap
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad capacity {:?}", cap.trim()))?;
+        let line_bytes: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad line size {:?}", line.trim()))?;
+        if !line_bytes.is_power_of_two() || line_bytes < 8 {
+            return Err(format!("line size {line_bytes} must be a power of two ≥ 8"));
+        }
+        if capacity_bytes < line_bytes {
+            return Err(format!(
+                "capacity {capacity_bytes} smaller than one line ({line_bytes})"
+            ));
+        }
+        Ok(Some(CacheConfig {
+            capacity_bytes,
+            line_bytes,
+        }))
+    }
+
+    /// Read `RUPCXX_CACHE` from the environment; malformed values abort
+    /// with a clear message.
+    pub fn from_env() -> Option<Self> {
+        rupcxx_util::env::parse_env(
+            "RUPCXX_CACHE",
+            "off | on | CAPACITY_BYTES,LINE_BYTES",
+            CacheConfig::parse,
+        )
+    }
+}
+
+/// One cached line: `data.len()` bytes of rank `rank`'s segment starting
+/// at `base` (always line-aligned; shorter than a full line only at the
+/// end of the segment).
+struct Line {
+    rank: usize,
+    base: usize,
+    data: Box<[u8]>,
+    /// The filling get's happens-before snapshot, kept only when the
+    /// race checker was on at fill time; cached hits replay it so the
+    /// checker can flag reads of lines made stale by a synchronized
+    /// writer (see `Checker::cache_read`).
+    fill: Option<Stamp>,
+}
+
+struct Inner {
+    slots: Vec<Option<Line>>,
+    occupied: usize,
+}
+
+/// A rank's read cache: a direct-mapped array of line slots behind one
+/// mutex. Only the owning rank's thread (and its progress thread) touch
+/// it, so the lock is effectively uncontended; direct mapping keeps the
+/// lookup a handful of arithmetic ops instead of a SipHash per get.
+pub struct CacheState {
+    cfg: CacheConfig,
+    line_shift: u32,
+    nslots: usize,
+    inner: Mutex<Inner>,
+    /// Test-only knob: when set, sync-point invalidation is skipped (the
+    /// write-through path still runs). Used to plant a stale-read bug the
+    /// checker must catch; never set outside tests.
+    bypass_sync_invalidation: AtomicBool,
+}
+
+impl CacheState {
+    /// Build a cache with `cfg.capacity_bytes / cfg.line_bytes` slots.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(
+            cfg.line_bytes.is_power_of_two() && cfg.line_bytes >= 8,
+            "cache line size must be a power of two ≥ 8"
+        );
+        let nslots = (cfg.capacity_bytes / cfg.line_bytes).max(1);
+        let line_shift = cfg.line_bytes.trailing_zeros();
+        CacheState {
+            cfg,
+            line_shift,
+            nslots,
+            inner: Mutex::new(Inner {
+                slots: (0..nslots).map(|_| None).collect(),
+                occupied: 0,
+            }),
+            bypass_sync_invalidation: AtomicBool::new(false),
+        }
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> usize {
+        self.cfg.line_bytes
+    }
+
+    /// The line-aligned base of the line containing `offset`.
+    #[inline]
+    pub fn line_base(&self, offset: usize) -> usize {
+        offset & !(self.cfg.line_bytes - 1)
+    }
+
+    #[inline]
+    fn slot_of(&self, rank: usize, base: usize) -> usize {
+        let h =
+            ((base >> self.line_shift) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ rank as u64;
+        (h % self.nslots as u64) as usize
+    }
+
+    /// Look up `len = out.len()` bytes of rank `rank`'s segment starting
+    /// at `offset`; the span must not cross a line boundary. On a hit the
+    /// bytes are copied into `out` and the line's fill stamp (if any) is
+    /// returned; `None` is a miss.
+    pub fn lookup(&self, rank: usize, offset: usize, out: &mut [u8]) -> Option<Option<Stamp>> {
+        let base = self.line_base(offset);
+        debug_assert!(offset + out.len() <= base + self.cfg.line_bytes);
+        let inner = self.inner.lock();
+        let line = inner.slots[self.slot_of(rank, base)].as_ref()?;
+        if line.rank != rank || line.base != base {
+            return None;
+        }
+        let start = offset - base;
+        if start + out.len() > line.data.len() {
+            return None;
+        }
+        out.copy_from_slice(&line.data[start..start + out.len()]);
+        Some(line.fill.clone())
+    }
+
+    /// Install a freshly fetched line (replacing any conflicting line in
+    /// its slot). `base` must be line-aligned; `data` is the whole line
+    /// (possibly short at the segment end).
+    pub fn insert(&self, rank: usize, base: usize, data: Box<[u8]>, fill: Option<Stamp>) {
+        debug_assert_eq!(base, self.line_base(base));
+        debug_assert!(data.len() <= self.cfg.line_bytes);
+        let slot = self.slot_of(rank, base);
+        let mut inner = self.inner.lock();
+        if inner.slots[slot].is_none() {
+            inner.occupied += 1;
+        }
+        inner.slots[slot] = Some(Line {
+            rank,
+            base,
+            data,
+            fill,
+        });
+    }
+
+    /// Drop every cached line of rank `rank` overlapping
+    /// `[offset, offset+len)`; returns how many lines were removed. Used
+    /// by the write-through path — invalidating a covering span is always
+    /// safe (a dropped line only costs a refill).
+    pub fn invalidate_span(&self, rank: usize, offset: usize, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        if inner.occupied == 0 {
+            return 0;
+        }
+        let first = self.line_base(offset);
+        let last = self.line_base(offset + len - 1);
+        let mut removed = 0;
+        let mut base = first;
+        loop {
+            let slot = self.slot_of(rank, base);
+            if let Some(line) = &inner.slots[slot] {
+                if line.rank == rank && line.base == base {
+                    inner.slots[slot] = None;
+                    inner.occupied -= 1;
+                    removed += 1;
+                }
+            }
+            if base == last {
+                break;
+            }
+            base += self.cfg.line_bytes;
+        }
+        removed
+    }
+
+    /// Drop every cached line; returns how many were removed.
+    pub fn invalidate_all(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        if inner.occupied == 0 {
+            return 0;
+        }
+        let removed = inner.occupied as u64;
+        for slot in inner.slots.iter_mut() {
+            *slot = None;
+        }
+        inner.occupied = 0;
+        removed
+    }
+
+    /// Sync-point invalidation (`barrier()`/`fence()`): like
+    /// [`CacheState::invalidate_all`], but respects the test-only bypass
+    /// knob used to plant stale-read bugs for the checker.
+    pub fn invalidate_sync(&self) -> u64 {
+        if self.bypass_sync_invalidation.load(Ordering::Relaxed) {
+            return 0;
+        }
+        self.invalidate_all()
+    }
+
+    /// Test-only: disable sync-point invalidation, leaving stale lines
+    /// visible across barriers — a planted memory-model bug the checker
+    /// must report as a stale cached read.
+    pub fn set_bypass_sync_invalidation(&self, bypass: bool) {
+        self.bypass_sync_invalidation
+            .store(bypass, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for CacheState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CacheState")
+            .field("capacity_bytes", &self.cfg.capacity_bytes)
+            .field("line_bytes", &self.cfg.line_bytes)
+            .field("nslots", &self.nslots)
+            .field("occupied", &inner.occupied)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, line: usize) -> CacheState {
+        CacheState::new(CacheConfig {
+            capacity_bytes: capacity,
+            line_bytes: line,
+        })
+    }
+
+    #[test]
+    fn parse_env_forms() {
+        assert!(CacheConfig::parse("off").unwrap().is_none());
+        assert!(CacheConfig::parse("").unwrap().is_none());
+        assert!(CacheConfig::parse("0").unwrap().is_none());
+        assert_eq!(
+            CacheConfig::parse("on").unwrap().unwrap(),
+            CacheConfig::default()
+        );
+        let c = CacheConfig::parse("4096,64").unwrap().unwrap();
+        assert_eq!(c.capacity_bytes, 4096);
+        assert_eq!(c.line_bytes, 64);
+        assert!(CacheConfig::parse("4096").is_err());
+        assert!(CacheConfig::parse("x,64").is_err());
+        assert!(CacheConfig::parse("4096,100").is_err(), "non-power-of-two");
+        assert!(CacheConfig::parse("4096,4").is_err(), "line < 8");
+        assert!(CacheConfig::parse("32,64").is_err(), "capacity < line");
+    }
+
+    #[test]
+    fn miss_fill_hit_roundtrip() {
+        let c = cache(1024, 64);
+        let mut out = [0u8; 8];
+        assert!(c.lookup(1, 64, &mut out).is_none(), "cold cache misses");
+        let data: Box<[u8]> = (0..64u8).collect();
+        c.insert(1, 64, data, None);
+        assert!(c.lookup(1, 64, &mut out).is_some());
+        assert_eq!(out, [0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(
+            c.lookup(1, 100, &mut out).is_some(),
+            "same line, later span"
+        );
+        assert_eq!(out, [36, 37, 38, 39, 40, 41, 42, 43]);
+        assert!(c.lookup(2, 64, &mut out).is_none(), "other rank misses");
+        assert!(c.lookup(1, 128, &mut out).is_none(), "other line misses");
+    }
+
+    #[test]
+    fn short_line_at_segment_end_bounds_hits() {
+        let c = cache(1024, 64);
+        // Segment ends mid-line: only 16 bytes of the line exist.
+        c.insert(0, 64, vec![7u8; 16].into_boxed_slice(), None);
+        let mut out = [0u8; 8];
+        assert!(c.lookup(0, 64, &mut out).is_some());
+        assert!(
+            c.lookup(0, 80, &mut out).is_none(),
+            "span past the short line's data misses"
+        );
+    }
+
+    #[test]
+    fn invalidate_span_drops_covered_lines_only() {
+        let c = cache(4096, 64);
+        c.insert(0, 0, vec![1; 64].into_boxed_slice(), None);
+        c.insert(0, 64, vec![2; 64].into_boxed_slice(), None);
+        c.insert(0, 128, vec![3; 64].into_boxed_slice(), None);
+        c.insert(1, 64, vec![4; 64].into_boxed_slice(), None);
+        // A write covering [60, 70) touches lines 0 and 64 of rank 0.
+        assert_eq!(c.invalidate_span(0, 60, 10), 2);
+        let mut out = [0u8; 8];
+        assert!(c.lookup(0, 0, &mut out).is_none());
+        assert!(c.lookup(0, 64, &mut out).is_none());
+        assert!(c.lookup(0, 128, &mut out).is_some(), "uncovered line stays");
+        assert!(
+            c.lookup(1, 64, &mut out).is_some(),
+            "other rank's line stays"
+        );
+        assert_eq!(c.invalidate_span(0, 60, 10), 0, "already gone");
+        assert_eq!(c.invalidate_span(0, 0, 0), 0, "empty span");
+    }
+
+    #[test]
+    fn invalidate_all_counts_and_empties() {
+        let c = cache(1024, 64);
+        assert_eq!(c.invalidate_all(), 0);
+        c.insert(0, 0, vec![0; 64].into_boxed_slice(), None);
+        c.insert(1, 64, vec![0; 64].into_boxed_slice(), None);
+        assert_eq!(c.invalidate_all(), 2);
+        let mut out = [0u8; 8];
+        assert!(c.lookup(0, 0, &mut out).is_none());
+        assert_eq!(c.invalidate_all(), 0);
+    }
+
+    #[test]
+    fn sync_invalidation_respects_bypass_knob() {
+        let c = cache(1024, 64);
+        c.insert(0, 0, vec![9; 64].into_boxed_slice(), None);
+        c.set_bypass_sync_invalidation(true);
+        assert_eq!(c.invalidate_sync(), 0, "bypassed");
+        let mut out = [0u8; 8];
+        assert!(c.lookup(0, 0, &mut out).is_some(), "stale line survives");
+        c.set_bypass_sync_invalidation(false);
+        assert_eq!(c.invalidate_sync(), 1);
+        assert!(c.lookup(0, 0, &mut out).is_none());
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        // One slot: every line maps to it.
+        let c = cache(64, 64);
+        c.insert(0, 0, vec![1; 64].into_boxed_slice(), None);
+        c.insert(0, 4096, vec![2; 64].into_boxed_slice(), None);
+        let mut out = [0u8; 8];
+        assert!(c.lookup(0, 4096, &mut out).is_some());
+        assert!(c.lookup(0, 0, &mut out).is_none(), "evicted by conflict");
+    }
+
+    #[test]
+    fn fill_stamp_round_trips() {
+        let c = cache(1024, 64);
+        let stamp = Stamp(vec![3, 1].into_boxed_slice());
+        c.insert(0, 0, vec![0; 64].into_boxed_slice(), Some(stamp.clone()));
+        let mut out = [0u8; 8];
+        let got = c.lookup(0, 0, &mut out).expect("hit");
+        assert_eq!(got, Some(stamp));
+    }
+}

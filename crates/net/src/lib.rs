@@ -22,6 +22,7 @@
 //! relaxed memory-consistency model (§III-F).
 
 pub mod aggregate;
+pub mod cache;
 pub mod fabric;
 pub mod faults;
 pub mod pod;
@@ -30,6 +31,7 @@ pub mod segment;
 pub mod stats;
 
 pub use aggregate::{AggConfig, BatchReader, Frame};
+pub use cache::{CacheConfig, CacheState};
 pub use fabric::{AmMessage, AmPayload, Endpoint, Fabric, FabricConfig, GlobalAddr, SimNet};
 pub use faults::{Fate, FaultPlan, LinkRule};
 pub use pod::Pod;

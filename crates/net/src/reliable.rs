@@ -439,6 +439,7 @@ mod tests {
             faults: Some(plan),
             agg: None,
             check: None,
+            cache: None,
         })
     }
 

@@ -170,6 +170,23 @@ impl Segment {
         }
     }
 
+    /// Raw pointer to the aligned word at `offset`, bounds-checked for
+    /// `bytes` addressable bytes behind it. This is the privatization
+    /// escape hatch under `GlobalPtr::local_slice` and friends: the word
+    /// fast paths above stay atomic, while a privatized phase reads and
+    /// writes through plain references derived from this pointer.
+    ///
+    /// The caller must uphold the PGAS ownership discipline: while any
+    /// reference derived from this pointer is live, no other rank may
+    /// access the range (separate such phases with `barrier()`/`fence()`,
+    /// exactly as the paper's relaxed memory model requires for
+    /// conflicting accesses).
+    pub fn privatize_ptr(&self, offset: usize, bytes: usize) -> *mut u64 {
+        assert_eq!(offset % 8, 0, "privatized access requires 8-byte alignment");
+        self.check(offset, bytes);
+        self.words[offset / 8].as_ptr()
+    }
+
     /// Zero a byte range.
     pub fn zero(&self, offset: usize, n: usize) {
         // Reuse write_bytes in chunks to avoid a large temporary.
@@ -286,6 +303,33 @@ mod tests {
         let mut out = [0u8; 8];
         s.read_bytes(0, &mut out);
         assert_eq!(out, [0x11, 0x11, 0x11, 0x11, 0x22, 0x22, 0x22, 0x22]);
+    }
+
+    #[test]
+    fn privatize_ptr_aliases_the_words() {
+        let s = Segment::new(32);
+        s.store_u64(8, 77);
+        let p = s.privatize_ptr(8, 16);
+        // One exclusive accessor, no concurrent segment traffic.
+        unsafe {
+            assert_eq!(*p, 77);
+            *p.add(1) = 99;
+        }
+        assert_eq!(s.load_u64(16), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn privatize_ptr_checks_bounds() {
+        let s = Segment::new(16);
+        let _ = s.privatize_ptr(8, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment")]
+    fn privatize_ptr_checks_alignment() {
+        let s = Segment::new(16);
+        let _ = s.privatize_ptr(4, 8);
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct CommStats {
     /// each batch is one active message carrying `agg_ops / agg_batches`
     /// logical operations on average (initiator side).
     pub agg_batches: AtomicU64,
+    /// Remote gets served from this rank's software read cache without
+    /// touching the fabric. Nonzero only with `RUPCXX_CACHE` enabled.
+    pub cache_hits: AtomicU64,
+    /// Remote gets that missed the read cache and filled a whole line
+    /// through one fabric get.
+    pub cache_misses: AtomicU64,
+    /// Cached lines dropped by write-through or sync-point invalidation.
+    pub cache_invalidations: AtomicU64,
     /// Completed [`CommStats::reset`] calls (see that method's caveats).
     epoch: AtomicU64,
 }
@@ -71,6 +79,9 @@ impl CommStats {
             reorders: self.reorders.load(Ordering::Relaxed),
             agg_ops: self.agg_ops.load(Ordering::Relaxed),
             agg_batches: self.agg_batches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
             epoch: self.epoch.load(Ordering::Acquire),
         }
     }
@@ -100,6 +111,9 @@ impl CommStats {
         self.reorders.store(0, Ordering::Relaxed);
         self.agg_ops.store(0, Ordering::Relaxed);
         self.agg_batches.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_invalidations.store(0, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
@@ -161,6 +175,12 @@ pub struct CommCounts {
     pub agg_ops: u64,
     /// Wire frames (batches) the aggregation layer injected for them.
     pub agg_batches: u64,
+    /// Remote gets served from the software read cache.
+    pub cache_hits: u64,
+    /// Remote gets that missed the read cache and filled a line.
+    pub cache_misses: u64,
+    /// Cached lines dropped by write-through or sync-point invalidation.
+    pub cache_invalidations: u64,
     /// Reset epoch of the endpoint at snapshot time (see
     /// [`CommStats::epoch`]). Not part of equality.
     pub epoch: u64,
@@ -182,6 +202,9 @@ impl PartialEq for CommCounts {
             && self.reorders == other.reorders
             && self.agg_ops == other.agg_ops
             && self.agg_batches == other.agg_batches
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+            && self.cache_invalidations == other.cache_invalidations
     }
 }
 
@@ -218,6 +241,9 @@ impl CommCounts {
             reorders: self.reorders - earlier.reorders,
             agg_ops: self.agg_ops - earlier.agg_ops,
             agg_batches: self.agg_batches - earlier.agg_batches,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_invalidations: self.cache_invalidations - earlier.cache_invalidations,
         }
     }
 
@@ -240,6 +266,9 @@ impl CommCounts {
             reorders: self.reorders + other.reorders,
             agg_ops: self.agg_ops + other.agg_ops,
             agg_batches: self.agg_batches + other.agg_batches,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_invalidations: self.cache_invalidations + other.cache_invalidations,
         }
     }
 }
@@ -380,6 +409,39 @@ mod tests {
         // not compare equal.
         let a = CommCounts {
             agg_batches: 1,
+            ..Default::default()
+        };
+        assert_ne!(a, CommCounts::default());
+    }
+
+    #[test]
+    fn cache_counters_round_trip() {
+        let s = CommStats::default();
+        s.cache_hits.fetch_add(90, Ordering::Relaxed);
+        s.cache_misses.fetch_add(10, Ordering::Relaxed);
+        s.cache_invalidations.fetch_add(4, Ordering::Relaxed);
+        let base = s.snapshot();
+        assert_eq!(base.cache_hits, 90);
+        assert_eq!(base.cache_misses, 10);
+        assert_eq!(base.cache_invalidations, 4);
+        s.cache_hits.fetch_add(10, Ordering::Relaxed);
+        s.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+        let d = s.delta_since(&base);
+        assert_eq!(
+            (d.cache_hits, d.cache_misses, d.cache_invalidations),
+            (10, 0, 1)
+        );
+        let m = base.merged(&s.snapshot());
+        assert_eq!(
+            (m.cache_hits, m.cache_misses, m.cache_invalidations),
+            (190, 20, 9)
+        );
+        s.reset();
+        assert_eq!(s.snapshot(), CommCounts::default());
+        // Cache counters participate in equality: the same logical reads
+        // served with a different hit pattern must not compare equal.
+        let a = CommCounts {
+            cache_hits: 1,
             ..Default::default()
         };
         assert_ne!(a, CommCounts::default());

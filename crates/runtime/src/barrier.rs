@@ -29,6 +29,7 @@ impl Ctx {
             if let Some(ck) = self.shared().fabric.checker() {
                 ck.barrier_exit(self.rank());
             }
+            self.shared().fabric.cache_invalidate_sync(self.rank());
             return;
         }
         let t0 = self.trace().start();
@@ -47,6 +48,10 @@ impl Ctx {
         if let Some(ck) = self.shared().fabric.checker() {
             ck.barrier_exit(self.rank());
         }
+        // A barrier is a full synchronization point: peers' pre-barrier
+        // writes become observable, so locally cached remote lines must
+        // be refetched.
+        self.shared().fabric.cache_invalidate_sync(self.rank());
     }
 
     /// Memory fence: orders this rank's prior global-memory operations
@@ -59,6 +64,9 @@ impl Ctx {
         // but only after the hardware fence).
         self.agg_flush();
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        // The fence also acts as an acquire point for the software read
+        // cache: later gets must not return lines filled before it.
+        self.shared().fabric.cache_invalidate_sync(self.rank());
         self.advance();
     }
 }

@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use rupcxx_net::{AggConfig, CheckConfig, FaultPlan, SimNet};
+use rupcxx_net::{AggConfig, CacheConfig, CheckConfig, FaultPlan, SimNet};
 use rupcxx_trace::TraceConfig;
 
 /// Parameters for an SPMD job.
@@ -37,6 +37,11 @@ pub struct RuntimeConfig {
     /// with [`RuntimeConfig::with_check`]. None = checking off (one
     /// untaken branch per hook).
     pub check: Option<CheckConfig>,
+    /// Software read cache for remote global-memory gets.
+    /// [`RuntimeConfig::new`] seeds this from `RUPCXX_CACHE`; override
+    /// with [`RuntimeConfig::with_cache`]. None = caching off (one
+    /// untaken branch per get).
+    pub cache: Option<CacheConfig>,
 }
 
 impl RuntimeConfig {
@@ -51,6 +56,7 @@ impl RuntimeConfig {
             faults: FaultPlan::from_env(),
             agg: AggConfig::from_env(),
             check: CheckConfig::from_env(),
+            cache: CacheConfig::from_env(),
         }
     }
 
@@ -77,6 +83,13 @@ impl RuntimeConfig {
     /// `RUPCXX_CHECK`).
     pub fn with_check(mut self, check: CheckConfig) -> Self {
         self.check = Some(check);
+        self
+    }
+
+    /// Enable the software read cache for remote gets (overriding
+    /// `RUPCXX_CACHE`).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -142,5 +155,12 @@ mod tests {
         let c = RuntimeConfig::new(2).with_agg(AggConfig::new().flush_count(8));
         let agg = c.agg.expect("aggregation installed");
         assert_eq!(agg.flush_count, 8);
+    }
+
+    #[test]
+    fn with_cache_installs_config() {
+        let c = RuntimeConfig::new(2).with_cache(CacheConfig::new().line_bytes(128));
+        let cache = c.cache.expect("cache installed");
+        assert_eq!(cache.line_bytes, 128);
     }
 }

@@ -1,7 +1,9 @@
 //! Process-wide state shared by all rank threads of one SPMD job.
 
 use crate::alloc::SegAllocator;
-use rupcxx_net::{AggConfig, CheckConfig, Fabric, FabricConfig, FaultPlan, Rank, SimNet};
+use rupcxx_net::{
+    AggConfig, CacheConfig, CheckConfig, Fabric, FabricConfig, FaultPlan, Rank, SimNet,
+};
 use rupcxx_trace::TraceConfig;
 use rupcxx_util::sync::Mutex;
 use rupcxx_util::Bytes;
@@ -165,15 +167,17 @@ impl Shared {
             None,
             None,
             None,
+            None,
         )
     }
 
     /// The full constructor: [`Shared::new_traced`] plus an optional
     /// deterministic fault-injection plan (see `rupcxx-net`'s `faults`
     /// module), optional per-destination aggregation thresholds (its
-    /// `aggregate` module) and an optional race/deadlock checker config
-    /// (`rupcxx-check`); the SPMD launcher passes
-    /// `RuntimeConfig::{faults, agg, check}` through.
+    /// `aggregate` module), an optional race/deadlock checker config
+    /// (`rupcxx-check`) and an optional software read-cache config (its
+    /// `cache` module); the SPMD launcher passes
+    /// `RuntimeConfig::{faults, agg, check, cache}` through.
     #[allow(clippy::too_many_arguments)]
     pub fn new_full(
         ranks: usize,
@@ -184,6 +188,7 @@ impl Shared {
         faults: Option<FaultPlan>,
         agg: Option<AggConfig>,
         check: Option<CheckConfig>,
+        cache: Option<CacheConfig>,
     ) -> Arc<Self> {
         let fabric = Fabric::new(FabricConfig {
             ranks,
@@ -193,6 +198,7 @@ impl Shared {
             faults,
             agg,
             check,
+            cache,
         });
         Arc::new(Shared {
             fabric,

@@ -50,6 +50,7 @@ where
         config.faults.clone(),
         config.agg.clone(),
         config.check.clone(),
+        config.cache.clone(),
     );
     let body = &body;
     let progress_stop = std::sync::atomic::AtomicBool::new(false);

@@ -75,6 +75,8 @@ pub fn summary_table(rows: &[(usize, MetricsSnapshot)]) -> Table {
         "dups",
         "batches",
         "occ p50",
+        "cfills",
+        "hit%",
     ]);
     let mut add_row = |label: String, m: &MetricsSnapshot| {
         t.row([
@@ -95,6 +97,8 @@ pub fn summary_table(rows: &[(usize, MetricsSnapshot)]) -> Table {
             m.dup_arrivals.to_string(),
             m.batch_frames.count.to_string(),
             m.batch_frames.p50().to_string(),
+            m.cache_fill_bytes.count.to_string(),
+            format!("{:.1}", m.cache_hit_ratio() * 100.0),
         ]);
     };
     let mut total = MetricsSnapshot::default();
@@ -176,6 +180,23 @@ mod tests {
         // the feature is off).
         assert!(rendered.contains("batches"));
         assert!(rendered.contains("occ p50"));
+        // Read-cache columns are always present (zero when off).
+        assert!(rendered.contains("cfills"));
+        assert!(rendered.contains("hit%"));
+    }
+
+    #[test]
+    fn summary_reports_cache_hit_rate() {
+        let live = crate::metrics::Metrics::default();
+        live.cache_fill_bytes.record(256);
+        live.cache_misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        live.cache_hits
+            .fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+        let t = summary_table(&[(0, live.snapshot())]);
+        let rendered = t.render();
+        let row = rendered.lines().last().unwrap();
+        assert!(row.contains("75.0"), "hit%% column: {row}");
     }
 
     #[test]

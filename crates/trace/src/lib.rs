@@ -265,7 +265,9 @@ impl RankTrace {
             | EventKind::AmRetransmit
             | EventKind::WireDrop
             | EventKind::AmDup
-            | EventKind::BatchFlush => {}
+            | EventKind::BatchFlush
+            | EventKind::CacheFill
+            | EventKind::CacheHit => {}
         }
         if let Some(ring) = &self.ring {
             ring.push(TraceEvent {
@@ -305,6 +307,14 @@ impl RankTrace {
             }
             // `bytes` carries the batch's frame count (occupancy).
             EventKind::BatchFlush => self.metrics.batch_frames.record(bytes),
+            // `bytes` carries the line fill size; each fill is one miss.
+            EventKind::CacheFill => {
+                self.metrics.cache_fill_bytes.record(bytes);
+                self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::CacheHit => {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
             _ => {}
         }
         if let Some(ring) = &self.ring {
@@ -410,6 +420,26 @@ mod tests {
         assert_eq!(evs[0].kind, EventKind::BatchFlush);
         assert_eq!(evs[0].bytes, 48);
         assert_eq!(evs[0].peer, 1);
+    }
+
+    #[test]
+    fn cache_instants_feed_fill_histogram_and_hit_counters() {
+        let t = RankTrace::new(&TraceConfig::events().with_ring_capacity(16));
+        t.instant(EventKind::CacheFill, 1, 256);
+        t.instant(EventKind::CacheFill, 1, 64);
+        t.instant(EventKind::CacheHit, 1, 8);
+        t.instant(EventKind::CacheHit, 2, 8);
+        t.instant(EventKind::CacheHit, 1, 8);
+        let m = t.metrics.snapshot();
+        assert_eq!(m.cache_fill_bytes.count, 2);
+        assert_eq!(m.cache_fill_bytes.max, 256);
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.cache_hits, 3);
+        assert!((m.cache_hit_ratio() - 0.6).abs() < 1e-9);
+        let evs = t.events();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(evs[0].kind, EventKind::CacheFill);
+        assert_eq!(evs[0].bytes, 256);
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub struct Metrics {
     /// Batch occupancy: logical frames per flushed aggregation batch
     /// (count = batches sent; recorded at each `batch_flush`).
     pub batch_frames: Log2Histogram,
+    /// Line fill sizes of the software read cache, bytes (count = cache
+    /// misses; recorded at each `cache_fill`).
+    pub cache_fill_bytes: Log2Histogram,
+    /// Remote gets served from the software read cache.
+    pub cache_hits: AtomicU64,
+    /// Remote gets that missed the read cache and filled a line.
+    pub cache_misses: AtomicU64,
 }
 
 impl Metrics {
@@ -66,6 +73,9 @@ impl Metrics {
             wire_drops: self.wire_drops.load(Ordering::Relaxed),
             dup_arrivals: self.dup_arrivals.load(Ordering::Relaxed),
             batch_frames: self.batch_frames.snapshot(),
+            cache_fill_bytes: self.cache_fill_bytes.snapshot(),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -105,6 +115,12 @@ pub struct MetricsSnapshot {
     pub dup_arrivals: u64,
     /// Batch occupancy distribution (frames per aggregation batch).
     pub batch_frames: HistogramSnapshot,
+    /// Line fill size distribution of the software read cache, bytes.
+    pub cache_fill_bytes: HistogramSnapshot,
+    /// Remote gets served from the software read cache.
+    pub cache_hits: u64,
+    /// Remote gets that missed the read cache and filled a line.
+    pub cache_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -115,6 +131,17 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.advance_work as f64 / self.advance_polls as f64
+        }
+    }
+
+    /// Fraction of cached remote gets served without touching the fabric
+    /// (`hits / (hits + misses)`; 0 when the cache saw no traffic).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 
@@ -137,6 +164,9 @@ impl MetricsSnapshot {
             wire_drops: self.wire_drops + other.wire_drops,
             dup_arrivals: self.dup_arrivals + other.dup_arrivals,
             batch_frames: self.batch_frames.merged(&other.batch_frames),
+            cache_fill_bytes: self.cache_fill_bytes.merged(&other.cache_fill_bytes),
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
         }
     }
 }
@@ -160,6 +190,21 @@ mod tests {
     #[test]
     fn empty_ratio_is_zero() {
         assert_eq!(MetricsSnapshot::default().poll_work_ratio(), 0.0);
+    }
+
+    #[test]
+    fn cache_hit_ratio() {
+        let m = Metrics::default();
+        assert_eq!(m.snapshot().cache_hit_ratio(), 0.0);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.cache_fill_bytes.record(256);
+        let s = m.snapshot();
+        assert!((s.cache_hit_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(s.cache_fill_bytes.count, 1);
+        let merged = s.merged(&s);
+        assert_eq!(merged.cache_hits, 6);
+        assert_eq!(merged.cache_fill_bytes.count, 2);
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub enum EventKind {
     /// Aggregation buffer flushed as one batch AM (instant; `bytes` =
     /// number of logical frames the batch carries, `peer` = destination).
     BatchFlush,
+    /// Software read-cache miss filled a line through the fabric
+    /// (instant; `bytes` = line fill size, `peer` = owning rank).
+    CacheFill,
+    /// Remote get served from the software read cache (instant; `bytes`
+    /// = bytes returned, `peer` = owning rank).
+    CacheHit,
 }
 
 impl EventKind {
@@ -67,6 +73,8 @@ impl EventKind {
             EventKind::WireDrop => "wire_drop",
             EventKind::AmDup => "am_dup",
             EventKind::BatchFlush => "batch_flush",
+            EventKind::CacheFill => "cache_fill",
+            EventKind::CacheHit => "cache_hit",
         }
     }
 
@@ -84,6 +92,7 @@ impl EventKind {
             | EventKind::FinishWait
             | EventKind::LockAcquire => "sync",
             EventKind::AmRetransmit | EventKind::WireDrop | EventKind::AmDup => "fault",
+            EventKind::CacheFill | EventKind::CacheHit => "cache",
         }
     }
 
@@ -97,6 +106,8 @@ impl EventKind {
                 | EventKind::WireDrop
                 | EventKind::AmDup
                 | EventKind::BatchFlush
+                | EventKind::CacheFill
+                | EventKind::CacheHit
         )
     }
 }
@@ -340,5 +351,9 @@ mod tests {
         assert_eq!(EventKind::AmRetransmit.name(), "am_retransmit");
         assert_eq!(EventKind::WireDrop.category(), "fault");
         assert!(!EventKind::AmDup.is_span());
+        assert_eq!(EventKind::CacheFill.name(), "cache_fill");
+        assert_eq!(EventKind::CacheHit.category(), "cache");
+        assert!(!EventKind::CacheFill.is_span());
+        assert!(!EventKind::CacheHit.is_span());
     }
 }

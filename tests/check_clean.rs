@@ -6,8 +6,8 @@
 
 use rupcxx::prelude::*;
 use rupcxx_apps::{gups, sample_sort, stencil};
-use rupcxx_check::{new_sink, CheckConfig, FindingSink};
-use rupcxx_net::{AggConfig, FaultPlan};
+use rupcxx_check::{new_sink, CheckConfig, FindingKind, FindingSink};
+use rupcxx_net::{AggConfig, CacheConfig, FaultPlan};
 
 fn assert_clean(sink: &FindingSink, what: &str) {
     let findings = sink.lock();
@@ -106,6 +106,102 @@ fn sample_sort_is_clean() {
     );
     assert!(out.iter().all(|r| r.verified));
     assert_clean(&sink, "sample sort");
+}
+
+/// Read cache + checker: the cache invalidates at every sync point, so
+/// correctly synchronized benchmarks must stay clean with it enabled —
+/// hits must not manufacture races, and line fills must not claim bytes
+/// the program never read (false sharing with the owner's writes).
+#[test]
+fn gups_cached_is_clean() {
+    let sink = new_sink();
+    let out = spmd(
+        checked(4, &sink).with_cache(CacheConfig::default()),
+        |ctx| {
+            gups::run(
+                ctx,
+                &gups::GupsConfig {
+                    table_size: 1 << 10,
+                    updates_per_rank: 1_000,
+                    variant: gups::Variant::Upcxx,
+                    verify: true,
+                },
+            )
+        },
+    );
+    assert!(out.iter().all(|r| r.verified));
+    assert_clean(&sink, "gups cached");
+}
+
+#[test]
+fn stencil_cached_is_clean() {
+    let sink = new_sink();
+    let reference = stencil::serial_reference((8, 8, 4), 2, 0.1);
+    let out = spmd(
+        checked(4, &sink).with_cache(CacheConfig::default()),
+        |ctx| {
+            stencil::run(
+                ctx,
+                &stencil::StencilConfig {
+                    local_edge: 4,
+                    grid: (2, 2, 1),
+                    iters: 2,
+                    variant: stencil::Variant::Optimized,
+                    c: 0.1,
+                },
+            )
+        },
+    );
+    assert!((out[0].checksum - reference).abs() < 1e-9);
+    assert_clean(&sink, "stencil cached");
+}
+
+/// Sensitivity: a planted stale read must be caught. The bypass knob
+/// defeats the sync-point invalidation, so after the writer updates a
+/// word *with* proper barrier synchronization, the reader's next access
+/// hits the old line — exactly the coherence violation
+/// `StaleCachedRead` exists to flag.
+#[test]
+fn planted_stale_cached_read_is_caught() {
+    let sink = new_sink();
+    let cfg = RuntimeConfig::new(2)
+        .segment_mib(1)
+        .with_check(CheckConfig::all().with_sink(sink.clone()))
+        .with_cache(CacheConfig::default());
+    spmd(cfg, |ctx| {
+        ctx.fabric()
+            .endpoint(ctx.rank())
+            .cache()
+            .expect("cache installed")
+            .set_bypass_sync_invalidation(true);
+        let a = SharedArray::<u64>::new(ctx, 4, 1);
+        if ctx.rank() == 1 {
+            a.write(ctx, 1, 5);
+        }
+        ctx.barrier();
+        if ctx.rank() == 0 {
+            assert_eq!(a.read(ctx, 1), 5, "line fill");
+        }
+        ctx.barrier(); // orders the fill before the write...
+        if ctx.rank() == 1 {
+            a.write(ctx, 1, 9);
+        }
+        ctx.barrier(); // ...and the write before the re-read
+        if ctx.rank() == 0 {
+            // The bypassed invalidation leaves the old line in place.
+            assert_eq!(a.read(ctx, 1), 5, "stale by construction");
+        }
+        ctx.barrier();
+        a.destroy(ctx);
+    });
+    let findings = sink.lock();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.kind == FindingKind::StaleCachedRead),
+        "no stale-cached-read reported, got: {:?}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
 }
 
 /// Chaos + checker: recoverable fault injection (drops, dups, delays)

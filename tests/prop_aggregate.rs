@@ -32,6 +32,7 @@ fn fabric(agg: Option<AggConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> {
         faults,
         agg,
         check: None,
+        cache: None,
     })
 }
 

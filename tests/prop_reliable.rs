@@ -26,6 +26,7 @@ fn faulty_fabric(plan: FaultPlan) -> Arc<Fabric> {
         faults: Some(plan),
         agg: None,
         check: None,
+        cache: None,
     })
 }
 
