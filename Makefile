@@ -7,9 +7,9 @@ CARGO ?= cargo
 # each fully reproducible (see README "Robustness").
 CHAOS_SEEDS ?= 101 202 303
 
-.PHONY: ci fmt clippy test chaos check-race bench-smoke
+.PHONY: ci fmt clippy test chaos check-race bench-smoke prof-smoke
 
-ci: fmt clippy test chaos check-race bench-smoke
+ci: fmt clippy test chaos check-race bench-smoke prof-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -42,3 +42,13 @@ check-race:
 bench-smoke:
 	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench aggregation
 	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench caching
+
+# The profiler gate: profiled GUPS + stencil runs must yield a non-empty
+# critical path with >=90% of barrier wall time attributed to named wait
+# states, a planted dead link must produce a flight-recorder dump with
+# the final retransmit attempts, and the profiler-off path must move
+# bit-for-bit identical wire traffic (BENCH_profiler.json; README
+# "Observability").
+prof-smoke:
+	$(CARGO) test -q --test prof_integration
+	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench profiler

@@ -37,6 +37,7 @@ fn fabric(agg: Option<AggConfig>) -> Arc<Fabric> {
         agg,
         check: None,
         cache: None,
+        prof: None,
     })
 }
 

@@ -42,6 +42,7 @@ fn fabric(cache: Option<CacheConfig>, simnet: Option<SimNet>) -> Arc<Fabric> {
         agg: None,
         check: None,
         cache,
+        prof: None,
     })
 }
 

@@ -1,0 +1,291 @@
+//! Observability: the causal cross-rank profiler (`RUPCXX_PROF`) run on
+//! the paper workloads. Two latency benchmarks measure the barrier
+//! overhead the profiler adds (its whole-episode instrumentation is the
+//! hot-path cost), then a fixed-size counted section runs profiled GUPS
+//! and stencil jobs, checks the critical-path report and barrier
+//! wait-state attribution, provokes a flight-recorder dump over a
+//! planted dead link, verifies the profiler-off path moves identical
+//! wire traffic, and writes `results/BENCH_profiler.json`. `make
+//! prof-smoke` runs this with `RUPCXX_BENCH_SMOKE=1` as a CI gate on the
+//! deterministic criteria: non-empty critical path, ≥90% barrier
+//! attribution, a flight dump carrying the final retransmit attempts,
+//! and bit-for-bit identical frame counts with the profiler off.
+
+use rupcxx_apps::{gups, stencil};
+use rupcxx_bench::criterion_group;
+use rupcxx_bench::harness::Criterion;
+use rupcxx_bench::report;
+use rupcxx_net::{CommCounts, Fabric, FaultPlan, LinkRule, ProfConfig};
+use rupcxx_runtime::{spmd, Ctx, RuntimeConfig};
+use rupcxx_trace::{critpath, flight, CritPathReport, RankProf};
+use rupcxx_util::sync::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("RUPCXX_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn prof_path(tag: &str) -> String {
+    std::env::temp_dir()
+        .join(format!(
+            "rupcxx_bench_prof_{}_{}.json",
+            tag,
+            std::process::id()
+        ))
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+/// Run an SPMD job and capture its fabric for postmortem inspection.
+fn spmd_capturing<R: Send>(
+    cfg: RuntimeConfig,
+    body: impl Fn(&Ctx) -> R + Send + Sync,
+) -> (Vec<R>, Arc<Fabric>) {
+    let fabric: Mutex<Option<Arc<Fabric>>> = Mutex::new(None);
+    let out = spmd(cfg, |ctx| {
+        if ctx.rank() == 0 {
+            *fabric.lock() = Some(ctx.shared().fabric.clone());
+        }
+        body(ctx)
+    });
+    let fabric = fabric.lock().take().expect("rank 0 captured the fabric");
+    (out, fabric)
+}
+
+/// Gather every rank's profiler output, as the teardown exporter does.
+fn gather(fabric: &Fabric, ranks: usize) -> Vec<RankProf> {
+    (0..ranks)
+        .map(|r| {
+            let p = fabric.prof(r).expect("profiler enabled");
+            RankProf {
+                rank: r,
+                events: p.ring.snapshot(),
+                waits: p.waits.snapshot(),
+                barrier_total_ns: p.barrier_total_ns.load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+/// Time `iters` barrier episodes across 4 ranks (max over ranks), with
+/// the profiler on or off.
+fn timed_barriers(prof: bool, iters: u64, tag: &str) -> Duration {
+    let mut cfg = RuntimeConfig::new(4).segment_bytes(4096);
+    if prof {
+        cfg = cfg.with_prof(ProfConfig::on().with_path(prof_path(tag)));
+    }
+    let out = spmd(cfg, |ctx| {
+        ctx.barrier();
+        let t = Instant::now();
+        for _ in 0..iters {
+            ctx.barrier();
+        }
+        t.elapsed()
+    });
+    out.into_iter().max().unwrap()
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier_episode");
+    g.sample_size(if smoke() { 3 } else { 10 });
+    g.bench_function("prof_off", |b| {
+        b.iter_custom(|iters| timed_barriers(false, iters.max(1), "off"))
+    });
+    g.bench_function("prof_on", |b| {
+        b.iter_custom(|iters| timed_barriers(true, iters.max(1), "on"))
+    });
+    g.finish();
+}
+
+fn run_gups(prof: Option<ProfConfig>) -> (Vec<gups::GupsResult>, Arc<Fabric>) {
+    let mut cfg = RuntimeConfig::new(4).segment_mib(4);
+    if let Some(p) = prof {
+        cfg = cfg.with_prof(p);
+    }
+    spmd_capturing(cfg, |ctx| {
+        gups::run(
+            ctx,
+            &gups::GupsConfig {
+                table_size: 1 << 10,
+                updates_per_rank: if smoke() { 2_000 } else { 10_000 },
+                variant: gups::Variant::Upcxx,
+                verify: true,
+            },
+        )
+    })
+}
+
+/// Profiled stencil: the barrier-attribution acceptance workload.
+fn run_stencil() -> CritPathReport {
+    let (results, fabric) = spmd_capturing(
+        RuntimeConfig::new(2)
+            .segment_mib(4)
+            .with_prof(ProfConfig::on().with_path(prof_path("stencil"))),
+        |ctx| {
+            stencil::run(
+                ctx,
+                &stencil::StencilConfig {
+                    local_edge: if smoke() { 8 } else { 16 },
+                    grid: (2, 1, 1),
+                    iters: if smoke() { 4 } else { 10 },
+                    variant: stencil::Variant::Generic,
+                    c: 0.5,
+                },
+            )
+        },
+    );
+    assert!(
+        (results[0].checksum - results[1].checksum).abs() < 1e-9,
+        "profiled stencil checksum diverged across ranks"
+    );
+    critpath::analyze(&gather(&fabric, 2))
+}
+
+/// Planted dead link: the job must die with a flight-recorder dump whose
+/// tail shows the doomed frame's final retransmit attempts.
+fn provoke_flight_dump() -> String {
+    let _ = flight::take_dumps();
+    let dead = LinkRule {
+        drop_ppm: 1_000_000,
+        ..Default::default()
+    };
+    let plan = FaultPlan::new(43).link(0, 1, dead).max_attempts(4);
+    let cfg = RuntimeConfig::new(2)
+        .segment_bytes(4096)
+        .with_faults(plan)
+        .with_prof(ProfConfig::on().with_path(prof_path("flight")));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        spmd(cfg, |ctx| ctx.barrier());
+    }));
+    assert!(outcome.is_err(), "the dead link must surface as a panic");
+    flight::take_dumps().join("\n")
+}
+
+struct ProfSummary {
+    gups: CritPathReport,
+    stencil: CritPathReport,
+    counts_off: CommCounts,
+    counts_on: CommCounts,
+    flight_dump: String,
+}
+
+fn report_json_section(out: &mut String, name: &str, r: &CritPathReport) {
+    let _ = writeln!(
+        out,
+        "  \"{name}\": {{\"intervals\": {}, \"critical_path_ns\": {}, \"attributed_fraction\": {:.4}}},",
+        r.intervals,
+        r.critical_path_ns,
+        r.attributed_fraction()
+    );
+}
+
+fn write_json(s: &ProfSummary, results: &[rupcxx_bench::harness::BenchResult]) {
+    let ns_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == format!("barrier_episode/{name}"))
+            .map_or(0.0, |r| r.mean_ns)
+    };
+    let mut out = String::from("{\n");
+    report_json_section(&mut out, "gups", &s.gups);
+    report_json_section(&mut out, "stencil", &s.stencil);
+    let _ = writeln!(
+        out,
+        "  \"prof_off_frames_equal_prof_on\": {},",
+        s.counts_off == s.counts_on
+    );
+    let _ = writeln!(
+        out,
+        "  \"flight_dump_has_retransmits\": {},",
+        s.flight_dump.contains("attempt=")
+    );
+    let _ = writeln!(
+        out,
+        "  \"barrier_prof_off_mean_ns\": {:.1},",
+        ns_of("prof_off")
+    );
+    let _ = writeln!(
+        out,
+        "  \"barrier_prof_on_mean_ns\": {:.1},",
+        ns_of("prof_on")
+    );
+    let _ = writeln!(out, "  \"smoke\": {}", smoke());
+    out.push_str("}\n");
+    let path = format!("{}/BENCH_profiler.json", report::RESULTS_DIR);
+    if let Err(e) =
+        std::fs::create_dir_all(report::RESULTS_DIR).and_then(|_| std::fs::write(&path, &out))
+    {
+        eprintln!("(could not write {path}: {e})");
+    } else {
+        println!("[written {path}]");
+    }
+}
+
+criterion_group!(benches, bench_profiler);
+
+fn main() {
+    // Land results/ at the workspace root regardless of cargo's bench CWD
+    // (the package directory).
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let _ = std::env::set_current_dir(root);
+
+    benches();
+    let results = rupcxx_bench::harness::take_results();
+
+    let (gups_results, gups_fabric) = run_gups(Some(ProfConfig::on().with_path(prof_path("gups"))));
+    assert!(gups_results.iter().all(|r| r.verified));
+    let gups_report = critpath::analyze(&gather(&gups_fabric, 4));
+    let stencil_report = run_stencil();
+
+    let (off, off_fabric) = run_gups(None);
+    let (on, on_fabric) = run_gups(Some(ProfConfig::on().with_path(prof_path("inv"))));
+    for (a, b) in off.iter().zip(on.iter()) {
+        assert_eq!(a.checksum, b.checksum, "profiling perturbed the result");
+    }
+    let flight_dump = provoke_flight_dump();
+
+    let summary = ProfSummary {
+        gups: gups_report,
+        stencil: stencil_report,
+        counts_off: off_fabric.total_counts(),
+        counts_on: on_fabric.total_counts(),
+        flight_dump,
+    };
+    println!(
+        "critical path: GUPS {:.3} ms over {} interval(s); stencil barrier attribution {:.1}%",
+        summary.gups.critical_path_ns as f64 / 1e6,
+        summary.gups.intervals,
+        summary.stencil.attributed_fraction() * 100.0
+    );
+    print!("{}", summary.stencil.table().render());
+    write_json(&summary, &results);
+    report::emit_bench_trace(&results);
+
+    // The smoke gate: a non-empty critical path, ≥90% of barrier wall
+    // time attributed to named wait states, a flight dump carrying the
+    // final retransmit attempts, and a profiler-off path that moves
+    // exactly the same wire traffic.
+    assert!(summary.gups.intervals >= 1, "GUPS produced no intervals");
+    assert!(
+        summary.gups.critical_path_ns > 0,
+        "empty critical path on profiled GUPS"
+    );
+    assert!(
+        summary.stencil.attributed_fraction() >= 0.9,
+        "only {:.1}% of stencil barrier wall time attributed",
+        summary.stencil.attributed_fraction() * 100.0
+    );
+    assert!(
+        summary.flight_dump.contains("retransmit") && summary.flight_dump.contains("attempt="),
+        "flight dump missing the final retransmits:\n{}",
+        summary.flight_dump
+    );
+    assert_eq!(
+        summary.counts_off, summary.counts_on,
+        "profiler on/off must move identical wire traffic"
+    );
+}

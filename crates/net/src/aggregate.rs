@@ -496,6 +496,7 @@ mod tests {
             agg: Some(cfg),
             check: None,
             cache: None,
+            prof: None,
         })
     }
 
@@ -507,6 +508,7 @@ mod tests {
             src,
             payload,
             clock,
+            ..
         } in f.endpoint(me).drain()
         {
             match payload {
@@ -659,6 +661,7 @@ mod tests {
             agg: None,
             check: None,
             cache: None,
+            prof: None,
         });
         assert!(!plain.agg_enabled(0));
         plain.xor_u64_buffered(0, GlobalAddr::new(1, 0), 9);
@@ -709,6 +712,7 @@ mod tests {
             agg: Some(AggConfig::new().flush_count(8)),
             check: None,
             cache: None,
+            prof: None,
         });
         for _ in 0..8 {
             f.add_u64_buffered(0, GlobalAddr::new(1, 0), 1);

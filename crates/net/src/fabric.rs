@@ -18,7 +18,7 @@ use crate::segment::Segment;
 use crate::stats::{CommCounts, CommStats};
 use crate::Rank;
 use rupcxx_check::{AccessKind, CheckConfig, Checker, Stamp};
-use rupcxx_trace::{EventKind, RankTrace, TraceConfig};
+use rupcxx_trace::{EventKind, ProfConfig, ProfKind, ProfSpan, ProfState, RankTrace, TraceConfig};
 use rupcxx_util::sync::{Mutex, SegQueue};
 use rupcxx_util::Bytes;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -110,6 +110,11 @@ pub struct AmMessage {
     /// synchronization edge every collective and completion reply is built
     /// on, so this one field gives the checker the whole HB relation.
     pub clock: Option<Stamp>,
+    /// Causal span id, present only when the profiler is on. It rides the
+    /// message the same way `clock` does — surviving retransmits and
+    /// aggregation — so the receiver can join the delivery to the
+    /// injecting operation on the sending rank.
+    pub prof: Option<ProfSpan>,
 }
 
 /// One per-rank endpoint: segment + AM inbox + counters.
@@ -130,25 +135,36 @@ pub struct Endpoint {
     /// Software read cache for *remote* gets initiated by this rank;
     /// allocated only when the fabric has a [`CacheConfig`].
     pub(crate) cache: Option<CacheState>,
+    /// Causal profiler state for this rank; allocated only when the
+    /// fabric has a [`ProfConfig`] (`RUPCXX_PROF`).
+    pub prof: Option<ProfState>,
 }
 
 impl Endpoint {
+    #[allow(clippy::too_many_arguments)]
     fn new(
+        rank: usize,
         ranks: usize,
         segment_bytes: usize,
         trace: &TraceConfig,
         faulty: bool,
         agg: Option<&AggConfig>,
         cache: Option<&CacheConfig>,
+        prof: Option<&ProfConfig>,
     ) -> Self {
+        let stats = CommStats::default();
+        if prof.is_some() {
+            stats.enable_per_dest(ranks);
+        }
         Endpoint {
             segment: Segment::new(segment_bytes),
             inbox: SegQueue::new(),
-            stats: CommStats::default(),
+            stats,
             trace: RankTrace::new(trace),
             reliable: faulty.then(|| AmChannel::new(ranks)),
             agg: agg.map(|cfg| AggState::new(ranks, cfg.clone())),
             cache: cache.map(|cfg| CacheState::new(cfg.clone())),
+            prof: prof.map(|cfg| ProfState::new(rank, cfg)),
         }
     }
 
@@ -273,6 +289,9 @@ pub struct FabricConfig {
     /// None (the default) keeps every get on the direct path after one
     /// untaken branch, with no cache allocated.
     pub cache: Option<CacheConfig>,
+    /// Optional causal profiler (`RUPCXX_PROF`). None (the default)
+    /// keeps every hook at one untaken branch, with no spans on the wire.
+    pub prof: Option<ProfConfig>,
 }
 
 impl Default for FabricConfig {
@@ -286,6 +305,7 @@ impl Default for FabricConfig {
             agg: None,
             check: None,
             cache: None,
+            prof: None,
         }
     }
 }
@@ -299,6 +319,8 @@ pub struct Fabric {
     /// Set once a peer is declared unreachable (checked by blocking
     /// waits via [`Fabric::has_failed`]).
     pub(crate) failed: AtomicBool,
+    /// Set once the flight recorder has dumped (one postmortem per job).
+    pub(crate) prof_dumped: AtomicBool,
     /// First failure's detail, for [`Fabric::failure`].
     pub(crate) failure_detail: Mutex<Option<PeerUnreachable>>,
     /// The job's shared race/deadlock checker; None disables every hook.
@@ -311,14 +333,16 @@ impl Fabric {
         assert!(config.ranks > 0, "fabric needs at least one rank");
         let faults = config.faults.filter(|p| !p.is_noop());
         let endpoints = (0..config.ranks)
-            .map(|_| {
+            .map(|rank| {
                 Endpoint::new(
+                    rank,
                     config.ranks,
                     config.segment_bytes,
                     &config.trace,
                     faults.is_some(),
                     config.agg.as_ref(),
                     config.cache.as_ref(),
+                    config.prof.as_ref(),
                 )
             })
             .collect();
@@ -331,6 +355,7 @@ impl Fabric {
             simnet: config.simnet,
             faults,
             failed: AtomicBool::new(false),
+            prof_dumped: AtomicBool::new(false),
             failure_detail: Mutex::new(None),
             check,
         })
@@ -423,6 +448,7 @@ impl Fabric {
         } else {
             stats.puts.fetch_add(1, Ordering::Relaxed);
             stats.put_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            stats.count_dest(target, bytes as u64);
         }
     }
 
@@ -435,6 +461,7 @@ impl Fabric {
         } else {
             stats.gets.fetch_add(1, Ordering::Relaxed);
             stats.get_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            stats.count_dest(target, bytes as u64);
         }
     }
 
@@ -820,6 +847,7 @@ impl Fabric {
             }
             AmPayload::Task(_) => {}
         }
+        stats.count_dest(dst, am_bytes as u64);
         self.endpoints[initiator]
             .trace
             .instant(EventKind::AmSend, dst as i32, am_bytes as u64);
@@ -828,10 +856,19 @@ impl Fabric {
         // payload, giving the checker the AM happens-before edge — and,
         // for a batch, the flush-time clock its frames are recorded with.
         let clock = self.check.as_ref().map(|ck| ck.send_stamp(initiator));
+        // Likewise the causal span (None when the profiler is off): it
+        // survives retransmits because the whole message rides the limbo
+        // and lost queues, and aggregation because a batch is one frame.
+        let prof = self.endpoints[initiator].prof.as_ref().map(|p| {
+            let span = p.alloc_span();
+            p.record_send(span, dst as i32);
+            span
+        });
         let msg = AmMessage {
             src: initiator,
             payload,
             clock,
+            prof,
         };
         // The single faults-off branch on the AM path; local deliveries
         // never traverse the (faulty) wire.
@@ -839,6 +876,47 @@ impl Fabric {
             self.am_transmit(initiator, dst, msg);
         } else {
             self.endpoints[dst].inbox.push(msg);
+        }
+    }
+
+    /// The causal profiler state of `rank`, if the profiler is on.
+    #[inline]
+    pub fn prof(&self, rank: Rank) -> Option<&ProfState> {
+        self.endpoints[rank].prof.as_ref()
+    }
+
+    /// Fabric-wide retransmit total. Wait-state classification samples
+    /// this around a blocking wait: a nonzero delta means the wait rode
+    /// out packet loss (a retransmit stall), whichever rank's frames were
+    /// being repaired.
+    pub fn total_retransmits(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.stats.retransmits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Dump the flight recorder: the tail of every rank's causal event
+    /// stream, to stderr and the test-visible capture buffer. One dump
+    /// per job (first failure wins); no-op when the profiler is off.
+    pub fn prof_dump_flight(&self, reason: &str) {
+        if self.endpoints[0].prof.is_none() || self.prof_dumped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let per_rank: Vec<(usize, Vec<rupcxx_trace::ProfEvent>)> = self
+            .endpoints
+            .iter()
+            .enumerate()
+            .filter_map(|(r, e)| e.prof.as_ref().map(|p| (r, p.ring.snapshot())))
+            .collect();
+        rupcxx_trace::flight::record_dump(rupcxx_trace::flight::format_flight(reason, &per_rank));
+    }
+
+    /// Record an unreachable-peer event on the initiator's profiler
+    /// stream (no-op when the profiler is off).
+    pub(crate) fn prof_unreachable(&self, initiator: Rank, dst: Rank, attempts: u64) {
+        if let Some(p) = &self.endpoints[initiator].prof {
+            p.record_instant(ProfKind::Unreachable, dst as i32, attempts);
         }
     }
 
@@ -880,6 +958,7 @@ mod tests {
             agg: None,
             check: None,
             cache: None,
+            prof: None,
         })
     }
 
@@ -1025,6 +1104,7 @@ mod tests {
             agg: None,
             check: None,
             cache: None,
+            prof: None,
         });
         // Remote word put takes at least the injected latency.
         let t = std::time::Instant::now();
@@ -1054,6 +1134,7 @@ mod tests {
             agg: None,
             check: None,
             cache: None,
+            prof: None,
         });
         let data = vec![0u8; 512 << 10];
         let t = std::time::Instant::now();
@@ -1108,6 +1189,7 @@ mod tests {
             agg: None,
             check: None,
             cache: None,
+            prof: None,
         });
         assert!(!f.has_faults(), "a no-op plan must not slow the fabric");
         f.send_am(

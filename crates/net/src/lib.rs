@@ -37,8 +37,9 @@ pub use faults::{Fate, FaultPlan, LinkRule};
 pub use pod::Pod;
 pub use reliable::PeerUnreachable;
 pub use rupcxx_check::{CheckConfig, Checker};
+pub use rupcxx_trace::{ProfConfig, ProfState};
 pub use segment::Segment;
-pub use stats::{CommCounts, CommStats};
+pub use stats::{CommCounts, CommStats, PerDestStats};
 
 /// A rank id (SPMD execution-unit index), `0..ranks()`.
 pub type Rank = usize;

@@ -325,6 +325,12 @@ impl Fabric {
                 self.endpoints[src]
                     .trace
                     .instant(EventKind::AmRetransmit, me as i32, 0);
+                if let Some(p) = &self.endpoints[src].prof {
+                    // The frame's span rides its message, so the profiler
+                    // ties the retransmit back to the original injection.
+                    let span = f.msg.prof.map_or(0, |s| s.id);
+                    p.record_retransmit(span, me as i32, f.attempt as u64);
+                }
                 self.offer(&mut link, plan, me, f.seq, f.msg, f.attempt);
                 work += 1;
             }
@@ -363,6 +369,10 @@ impl Fabric {
         }
         drop(detail);
         self.failed.store(true, Ordering::Release);
+        // Postmortem: record the death on the initiator's causal stream
+        // and dump every rank's flight-recorder tail (once per job).
+        self.prof_unreachable(e.src, e.dst, e.attempts as u64);
+        self.prof_dump_flight(&e.to_string());
     }
 
     /// Fault gate for one-sided RMA (`initiator != target`, plan
@@ -412,6 +422,11 @@ impl Fabric {
                         target as i32,
                         0,
                     );
+                    if let Some(p) = &self.endpoints[initiator].prof {
+                        // RMA ops carry no wire span (they are synchronous);
+                        // span 0 marks an initiator-side inline retry.
+                        p.record_retransmit(0, target as i32, attempt as u64);
+                    }
                     // The retry traverses the wire again.
                     self.wire(initiator, target, bytes);
                 }
@@ -440,6 +455,7 @@ mod tests {
             agg: None,
             check: None,
             cache: None,
+            prof: None,
         })
     }
 

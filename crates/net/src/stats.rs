@@ -6,6 +6,26 @@
 //! (message counts × modeled per-message cost at paper-scale machines).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Per-destination op/byte counters. Allocated only when the profiler is
+/// on (`RUPCXX_PROF`) — the per-dest traffic shape is what an adaptive
+/// aggregation policy needs, but it is ranks × 16 bytes of atomics per
+/// endpoint, so the default path never pays for it.
+#[derive(Debug)]
+pub struct PerDestStats {
+    ops: Box<[AtomicU64]>,
+    bytes: Box<[AtomicU64]>,
+}
+
+impl PerDestStats {
+    fn new(ranks: usize) -> Self {
+        PerDestStats {
+            ops: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            bytes: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
 
 /// Live, thread-safe counters for one endpoint.
 #[derive(Debug, Default)]
@@ -58,6 +78,8 @@ pub struct CommStats {
     pub cache_invalidations: AtomicU64,
     /// Completed [`CommStats::reset`] calls (see that method's caveats).
     epoch: AtomicU64,
+    /// Per-destination accounting (unset unless the profiler enabled it).
+    per_dest: OnceLock<PerDestStats>,
 }
 
 impl CommStats {
@@ -114,7 +136,41 @@ impl CommStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_invalidations.store(0, Ordering::Relaxed);
+        if let Some(pd) = self.per_dest.get() {
+            for d in pd.ops.iter().chain(pd.bytes.iter()) {
+                d.store(0, Ordering::Relaxed);
+            }
+        }
         self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Switch on per-destination accounting for `ranks` destinations.
+    /// Idempotent; called by the endpoint constructor when the profiler
+    /// is enabled.
+    pub fn enable_per_dest(&self, ranks: usize) {
+        let _ = self.per_dest.set(PerDestStats::new(ranks));
+    }
+
+    /// Count one initiated operation of `bytes` towards `dst`. One
+    /// untaken branch when per-destination accounting is off.
+    #[inline]
+    pub fn count_dest(&self, dst: usize, bytes: u64) {
+        if let Some(pd) = self.per_dest.get() {
+            pd.ops[dst].fetch_add(1, Ordering::Relaxed);
+            pd.bytes[dst].fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-destination `(ops, bytes)` snapshot, indexed by destination
+    /// rank. `None` unless [`CommStats::enable_per_dest`] ran.
+    pub fn per_dest(&self) -> Option<Vec<(u64, u64)>> {
+        self.per_dest.get().map(|pd| {
+            pd.ops
+                .iter()
+                .zip(pd.bytes.iter())
+                .map(|(o, b)| (o.load(Ordering::Relaxed), b.load(Ordering::Relaxed)))
+                .collect()
+        })
     }
 
     /// Number of completed [`CommStats::reset`] calls. A phase measurement
@@ -445,6 +501,26 @@ mod tests {
             ..Default::default()
         };
         assert_ne!(a, CommCounts::default());
+    }
+
+    #[test]
+    fn per_dest_off_by_default_and_counts_when_enabled() {
+        let s = CommStats::default();
+        assert!(s.per_dest().is_none());
+        s.count_dest(0, 8); // no-op while disabled
+        s.enable_per_dest(3);
+        assert_eq!(s.per_dest().unwrap(), vec![(0, 0); 3]);
+        s.count_dest(1, 8);
+        s.count_dest(1, 16);
+        s.count_dest(2, 64);
+        let pd = s.per_dest().unwrap();
+        assert_eq!(pd, vec![(0, 0), (2, 24), (1, 64)]);
+        s.reset();
+        assert_eq!(s.per_dest().unwrap(), vec![(0, 0); 3]);
+        // enable is idempotent — counters survive a second call.
+        s.count_dest(0, 1);
+        s.enable_per_dest(3);
+        assert_eq!(s.per_dest().unwrap()[0], (1, 1));
     }
 
     #[test]

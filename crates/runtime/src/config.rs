@@ -1,7 +1,7 @@
 //! Runtime configuration.
 
 use rupcxx_net::{AggConfig, CacheConfig, CheckConfig, FaultPlan, SimNet};
-use rupcxx_trace::TraceConfig;
+use rupcxx_trace::{ProfConfig, TraceConfig};
 
 /// Parameters for an SPMD job.
 #[derive(Clone, Debug)]
@@ -42,6 +42,11 @@ pub struct RuntimeConfig {
     /// with [`RuntimeConfig::with_cache`]. None = caching off (one
     /// untaken branch per get).
     pub cache: Option<CacheConfig>,
+    /// Causal cross-rank profiler (wait-state attribution, critical-path
+    /// analysis, flight recorder). [`RuntimeConfig::new`] seeds this from
+    /// `RUPCXX_PROF`; override with [`RuntimeConfig::with_prof`]. None =
+    /// profiling off (one untaken branch per hook).
+    pub prof: Option<ProfConfig>,
 }
 
 impl RuntimeConfig {
@@ -57,6 +62,7 @@ impl RuntimeConfig {
             agg: AggConfig::from_env(),
             check: CheckConfig::from_env(),
             cache: CacheConfig::from_env(),
+            prof: ProfConfig::from_env(),
         }
     }
 
@@ -90,6 +96,12 @@ impl RuntimeConfig {
     /// `RUPCXX_CACHE`).
     pub fn with_cache(mut self, cache: CacheConfig) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Enable the causal cross-rank profiler (overriding `RUPCXX_PROF`).
+    pub fn with_prof(mut self, prof: ProfConfig) -> Self {
+        self.prof = Some(prof);
         self
     }
 

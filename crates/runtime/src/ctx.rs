@@ -3,7 +3,9 @@
 use crate::alloc::OutOfSegmentMemory;
 use crate::shared::Shared;
 use rupcxx_net::{AmMessage, AmPayload, BatchReader, Fabric, Frame, GlobalAddr, Rank};
-use rupcxx_trace::{EventKind, RankTrace};
+use rupcxx_trace::clock::now_ns;
+use rupcxx_trace::waitstate::{classify, pack_wait};
+use rupcxx_trace::{EventKind, ProfEvent, ProfKind, RankTrace, WaitConstruct};
 use rupcxx_util::Bytes;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -92,6 +94,7 @@ impl Ctx {
             src,
             payload,
             clock,
+            prof,
         } = msg;
         // The checker's AM happens-before edge: everything this rank does
         // from here on is ordered after the sender's send-time snapshot.
@@ -99,6 +102,12 @@ impl Ctx {
         // all built on AM tasks, so this one join covers them all.
         if let (Some(ck), Some(stamp)) = (self.shared.fabric.checker(), &clock) {
             ck.join(self.rank, stamp);
+        }
+        // The profiler's causal join: this delivery is tied to the span's
+        // injection on the sending rank (a batch joins once per batch —
+        // the batch is the wire-level causal unit).
+        if let (Some(p), Some(span)) = (self.shared.fabric.prof(self.rank), prof) {
+            p.record_recv(span);
         }
         match payload {
             AmPayload::Task(task) => task(),
@@ -168,6 +177,9 @@ impl Ctx {
         let mut idle_spins = 0u32;
         loop {
             if self.shared.fabric.has_failed() {
+                // Dump the flight recorder before dying (a no-op if
+                // `mark_unreachable` already dumped, or profiling is off).
+                self.shared.fabric.prof_dump_flight("peer unreachable");
                 match self.shared.fabric.failure() {
                     Some(e) => panic!("{e}"),
                     None => panic!("fabric failed: peer unreachable"),
@@ -175,10 +187,11 @@ impl Ctx {
             }
             if let Some(ck) = self.shared.fabric.checker() {
                 if ck.is_aborted() {
-                    match ck.abort_message() {
-                        Some(m) => panic!("{m}"),
-                        None => panic!("rupcxx-check: deadlock detected"),
-                    }
+                    let m = ck
+                        .abort_message()
+                        .unwrap_or_else(|| "rupcxx-check: deadlock detected".to_string());
+                    self.shared.fabric.prof_dump_flight(&m);
+                    panic!("{m}");
                 }
             }
             if cond() {
@@ -208,6 +221,47 @@ impl Ctx {
                 }
             }
         }
+    }
+
+    /// [`Ctx::wait_until`] with wait-state attribution: when the profiler
+    /// is on and the wait actually blocks, the elapsed time is recorded
+    /// under `construct` and classified Scalasca-style —
+    /// `RetransmitStall` if the fabric retransmitted anything during the
+    /// wait, `LateReceiver` for lock acquisition, `LateSender` when the
+    /// wait ended because a message injected after the wait started
+    /// finally arrived, `ProgressStarved` otherwise. Blocking constructs
+    /// other than the barrier (which wraps its whole episode itself)
+    /// funnel through here.
+    pub(crate) fn wait_profiled(&self, construct: WaitConstruct, mut cond: impl FnMut() -> bool) {
+        let fabric = &self.shared.fabric;
+        let Some(p) = fabric.prof(self.rank) else {
+            return self.wait_until(cond);
+        };
+        if cond() {
+            return; // Satisfied immediately: nothing blocked, no record.
+        }
+        let t0 = now_ns();
+        let retx0 = fabric.total_retransmits();
+        let joined0 = p.msgs_joined.load(Ordering::Relaxed);
+        self.wait_until(cond);
+        let dur = now_ns().saturating_sub(t0);
+        let state = classify(
+            construct,
+            fabric.total_retransmits() - retx0,
+            p.msgs_joined.load(Ordering::Relaxed) - joined0,
+            p.last_inject_ns.load(Ordering::Relaxed),
+            t0,
+        );
+        p.waits.record(construct, state, dur);
+        p.ring.push(ProfEvent {
+            seq: 0,
+            ts_ns: t0,
+            dur_ns: dur,
+            span: 0,
+            peer: -1,
+            a: pack_wait(construct, state),
+            kind: ProfKind::Wait,
+        });
     }
 
     /// Send a task to run on rank `dst` the next time it drives progress.
@@ -262,7 +316,7 @@ impl Ctx {
     pub fn agg_fence(&self) {
         self.agg_flush();
         self.barrier();
-        self.wait_until(|| {
+        self.wait_profiled(WaitConstruct::Fence, || {
             self.shared.fabric.links_quiescent(self.rank)
                 && self.shared.fabric.endpoint(self.rank).pending() == 0
         });

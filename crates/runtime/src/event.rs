@@ -12,7 +12,7 @@
 //! the paper.
 
 use crate::ctx::Ctx;
-use rupcxx_trace::EventKind;
+use rupcxx_trace::{EventKind, WaitConstruct};
 use rupcxx_util::sync::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
@@ -112,7 +112,7 @@ impl Event {
         if let Some(ck) = ctx.shared().fabric.checker() {
             ck.event_wait_begin(ctx.rank());
         }
-        ctx.wait_until(|| self.is_ready());
+        ctx.wait_profiled(WaitConstruct::EventWait, || self.is_ready());
         if let Some(ck) = ctx.shared().fabric.checker() {
             ck.event_wait_end(ctx.rank(), self.check_key());
         }
@@ -192,7 +192,7 @@ impl<T: Send + 'static> RtFuture<T> {
         if let Some(ck) = ctx.shared().fabric.checker() {
             ck.future_wait_begin(ctx.rank());
         }
-        ctx.wait_until(|| self.is_ready());
+        ctx.wait_profiled(WaitConstruct::FutureWait, || self.is_ready());
         if let Some(ck) = ctx.shared().fabric.checker() {
             ck.future_wait_end(ctx.rank());
         }

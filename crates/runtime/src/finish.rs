@@ -18,7 +18,7 @@
 use crate::ctx::Ctx;
 use crate::event::{FutureSetter, RtFuture};
 use rupcxx_net::Rank;
-use rupcxx_trace::EventKind;
+use rupcxx_trace::{EventKind, WaitConstruct};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -97,8 +97,9 @@ impl<'a> FinishScope<'a> {
         if let Some(ck) = self.ctx.shared().fabric.checker() {
             ck.finish_wait_begin(self.ctx.rank());
         }
-        self.ctx
-            .wait_until(|| self.outstanding.load(Ordering::Acquire) == 0);
+        self.ctx.wait_profiled(WaitConstruct::FinishWait, || {
+            self.outstanding.load(Ordering::Acquire) == 0
+        });
         if let Some(ck) = self.ctx.shared().fabric.checker() {
             ck.finish_wait_end(self.ctx.rank());
         }

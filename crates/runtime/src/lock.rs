@@ -7,7 +7,7 @@
 
 use crate::ctx::Ctx;
 use rupcxx_net::GlobalAddr;
-use rupcxx_trace::EventKind;
+use rupcxx_trace::{EventKind, WaitConstruct};
 
 const UNLOCKED: u64 = 0;
 
@@ -67,7 +67,7 @@ impl GlobalLock {
         if let Some(ck) = ctx.shared().fabric.checker() {
             ck.lock_wait_begin(ctx.rank(), self.check_key());
         }
-        ctx.wait_until(|| self.try_acquire(ctx));
+        ctx.wait_profiled(WaitConstruct::LockAcquire, || self.try_acquire(ctx));
         if let Some(ck) = ctx.shared().fabric.checker() {
             ck.lock_wait_end(ctx.rank());
         }

@@ -4,7 +4,7 @@ use crate::alloc::SegAllocator;
 use rupcxx_net::{
     AggConfig, CacheConfig, CheckConfig, Fabric, FabricConfig, FaultPlan, Rank, SimNet,
 };
-use rupcxx_trace::TraceConfig;
+use rupcxx_trace::{ProfConfig, TraceConfig};
 use rupcxx_util::sync::Mutex;
 use rupcxx_util::Bytes;
 use std::collections::HashMap;
@@ -168,6 +168,7 @@ impl Shared {
             None,
             None,
             None,
+            None,
         )
     }
 
@@ -175,9 +176,10 @@ impl Shared {
     /// deterministic fault-injection plan (see `rupcxx-net`'s `faults`
     /// module), optional per-destination aggregation thresholds (its
     /// `aggregate` module), an optional race/deadlock checker config
-    /// (`rupcxx-check`) and an optional software read-cache config (its
-    /// `cache` module); the SPMD launcher passes
-    /// `RuntimeConfig::{faults, agg, check, cache}` through.
+    /// (`rupcxx-check`), an optional software read-cache config (its
+    /// `cache` module) and an optional causal-profiler config
+    /// (`rupcxx-trace`'s `span` module); the SPMD launcher passes
+    /// `RuntimeConfig::{faults, agg, check, cache, prof}` through.
     #[allow(clippy::too_many_arguments)]
     pub fn new_full(
         ranks: usize,
@@ -189,6 +191,7 @@ impl Shared {
         agg: Option<AggConfig>,
         check: Option<CheckConfig>,
         cache: Option<CacheConfig>,
+        prof: Option<ProfConfig>,
     ) -> Arc<Self> {
         let fabric = Fabric::new(FabricConfig {
             ranks,
@@ -199,6 +202,7 @@ impl Shared {
             agg,
             check,
             cache,
+            prof,
         });
         Arc::new(Shared {
             fabric,

@@ -9,7 +9,7 @@
 use crate::config::RuntimeConfig;
 use crate::ctx::Ctx;
 use crate::shared::{HandlerRegistry, Shared};
-use rupcxx_trace::{MetricsSnapshot, TraceEvent};
+use rupcxx_trace::{critpath, MetricsSnapshot, RankProf, TraceEvent, WaitState};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +51,7 @@ where
         config.agg.clone(),
         config.check.clone(),
         config.cache.clone(),
+        config.prof.clone(),
     );
     let body = &body;
     let progress_stop = std::sync::atomic::AtomicBool::new(false);
@@ -118,8 +119,57 @@ where
         results
     });
     export_trace(&config, &shared);
+    export_prof(&config, &shared);
     export_check(&shared);
     results
+}
+
+/// Job-teardown profiler export: gather every rank's causal stream and
+/// wait-state histograms, run the critical-path analysis, print the
+/// per-rank table and headline attribution line, and write the JSON
+/// report. All ranks have joined by now, so the rings are quiescent.
+fn export_prof(config: &RuntimeConfig, shared: &Shared) {
+    let Some(prof_cfg) = &config.prof else { return };
+    let ranks = shared.ranks();
+    let per_rank: Vec<RankProf> = (0..ranks)
+        .filter_map(|r| {
+            shared.fabric.prof(r).map(|p| RankProf {
+                rank: r,
+                events: p.ring.snapshot(),
+                waits: p.waits.snapshot(),
+                barrier_total_ns: p.barrier_total_ns.load(Ordering::Relaxed),
+            })
+        })
+        .collect();
+    let report = critpath::analyze(&per_rank);
+    println!("\n== rupcxx profiler ({ranks} ranks) ==");
+    print!("{}", report.table().render());
+    println!(
+        "critical path: {:.3} ms over {} barrier interval(s), critical rank(s) {:?}",
+        report.critical_path_ns as f64 / 1e6,
+        report.intervals,
+        report.critical_ranks
+    );
+    println!(
+        "barrier attribution: {:.1}% of {:.3} ms barrier wall time carries a named wait state",
+        report.attributed_fraction() * 100.0,
+        report.barrier_total_ns as f64 / 1e6
+    );
+    let retx_ns: u64 = per_rank
+        .iter()
+        .map(|r| r.waits.state_ns(WaitState::RetransmitStall))
+        .sum();
+    if retx_ns > 0 {
+        println!(
+            "retransmit stalls: {:.3} ms of wait time spent waiting out packet loss",
+            retx_ns as f64 / 1e6
+        );
+    }
+    let path = prof_cfg.path();
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("[profile written {path}]"),
+        Err(e) => eprintln!("(could not write profile {path}: {e})"),
+    }
 }
 
 /// Job-teardown checker export: write the report file (when configured)

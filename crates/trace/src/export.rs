@@ -12,10 +12,46 @@ use rupcxx_util::table::fnum;
 use rupcxx_util::Table;
 use std::fmt::Write as _;
 
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render per-rank event streams as a Chrome trace JSON document.
+///
+/// Besides the events themselves, the document carries `process_name` /
+/// `thread_name` metadata records so Perfetto labels each timeline row
+/// with its rank instead of a bare thread id.
 pub fn chrome_trace_json(per_rank: &[(usize, Vec<TraceEvent>)]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
+    if !per_rank.is_empty() {
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{{\"name\":\"rupcxx\"}}}}"
+        );
+        first = false;
+        for (rank, _) in per_rank {
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"args\":{{\"name\":\"rank {rank}\"}}}}"
+            );
+        }
+    }
     for (rank, events) in per_rank {
         for e in events {
             if !first {
@@ -28,14 +64,14 @@ pub fn chrome_trace_json(per_rank: &[(usize, Vec<TraceEvent>)]) -> String {
                 let _ = write!(
                     out,
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"peer\":{},\"bytes\":{},\"seq\":{}}}}}",
-                    e.kind.name(), e.kind.category(), rank, ts_us, dur_us,
+                    json_escape(e.kind.name()), json_escape(e.kind.category()), rank, ts_us, dur_us,
                     e.peer, e.bytes, e.seq
                 );
             } else {
                 let _ = write!(
                     out,
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"args\":{{\"peer\":{},\"bytes\":{},\"seq\":{}}}}}",
-                    e.kind.name(), e.kind.category(), rank, ts_us,
+                    json_escape(e.kind.name()), json_escape(e.kind.category()), rank, ts_us,
                     e.peer, e.bytes, e.seq
                 );
             }
@@ -77,6 +113,8 @@ pub fn summary_table(rows: &[(usize, MetricsSnapshot)]) -> Table {
         "occ p50",
         "cfills",
         "hit%",
+        "events",
+        "evlost",
     ]);
     let mut add_row = |label: String, m: &MetricsSnapshot| {
         t.row([
@@ -99,6 +137,8 @@ pub fn summary_table(rows: &[(usize, MetricsSnapshot)]) -> Table {
             m.batch_frames.p50().to_string(),
             m.cache_fill_bytes.count.to_string(),
             format!("{:.1}", m.cache_hit_ratio() * 100.0),
+            m.ring_pushed.to_string(),
+            m.ring_lost.to_string(),
         ]);
     };
     let mut total = MetricsSnapshot::default();
@@ -155,6 +195,46 @@ mod tests {
     fn empty_trace_is_valid() {
         let json = chrome_trace_json(&[]);
         assert!(json.contains("\"traceEvents\":[\n\n]"));
+    }
+
+    #[test]
+    fn chrome_json_labels_ranks_with_metadata() {
+        let json = chrome_trace_json(&[(0, sample_events()), (3, vec![])]);
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"rupcxx\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"name\":\"rank 3\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain_name"), "plain_name");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\tz\r"), "x\\ny\\tz\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn summary_surfaces_ring_overflow() {
+        // An overflowed ring must show its loss in the summary so a
+        // truncated trace is never mistaken for a complete one.
+        let t = crate::RankTrace::new(&crate::TraceConfig::events().with_ring_capacity(4));
+        for _ in 0..10 {
+            t.instant(EventKind::AmSend, 1, 8);
+        }
+        let m = t.metrics_snapshot();
+        assert_eq!(m.ring_pushed, 10);
+        assert_eq!(m.ring_lost, 6);
+        let rendered = summary_table(&[(0, m)]).render();
+        assert!(rendered.contains("events"));
+        assert!(rendered.contains("evlost"));
+        let row = rendered.lines().last().unwrap();
+        assert!(row.contains("10"), "events column: {row}");
+        assert!(row.contains('6'), "evlost column: {row}");
     }
 
     #[test]

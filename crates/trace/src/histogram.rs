@@ -126,11 +126,15 @@ impl HistogramSnapshot {
 
     /// Approximate `p`-quantile (`0.0..=1.0`): the upper bound of the
     /// bucket containing the quantile rank, so the true value is within a
-    /// factor of 2 below the returned bound. The overflow bucket reports
-    /// the observed max.
+    /// factor of 2 below the returned bound. The bound is capped at the
+    /// observed max, which makes degenerate shapes exact: an empty
+    /// histogram reports 0 and a single observation reports itself.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if self.count == 1 {
+            return self.max;
         }
         let rank = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -140,7 +144,7 @@ impl HistogramSnapshot {
                 return if i >= BUCKETS - 1 {
                     self.max
                 } else {
-                    bucket_high(i).min(self.max.max(1))
+                    bucket_high(i).min(self.max)
                 };
             }
         }
@@ -238,7 +242,43 @@ mod tests {
         let s = Log2Histogram::new().snapshot();
         assert_eq!(s.count, 0);
         assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.percentile(1.0), 0);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_reports_itself() {
+        // A single sample must come back exactly, not as its bucket's
+        // upper bound (737 lives in [512,1024) — the old bound was 1024).
+        for v in [0u64, 1, 737, 1 << 40] {
+            let h = Log2Histogram::new();
+            h.record(v);
+            let s = h.snapshot();
+            assert_eq!(s.p50(), v, "p50 of sole value {v}");
+            assert_eq!(s.p99(), v, "p99 of sole value {v}");
+            assert_eq!(s.percentile(0.0), v);
+            assert_eq!(s.percentile(1.0), v);
+        }
+    }
+
+    #[test]
+    fn single_bucket_percentile_caps_at_max() {
+        // All samples in one bucket: the bound is the observed max, not
+        // the bucket's (larger) upper bound.
+        let h = Log2Histogram::new();
+        for _ in 0..5 {
+            h.record(5);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 5);
+        assert_eq!(s.p99(), 5);
+        // And an all-zero histogram reports 0, never 1.
+        let z = Log2Histogram::new();
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.snapshot().p50(), 0);
+        assert_eq!(z.snapshot().p99(), 0);
     }
 
     #[test]

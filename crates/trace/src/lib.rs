@@ -21,16 +21,23 @@
 //! path costs one predictable branch on an immutable bool.
 
 pub mod clock;
+pub mod critpath;
 pub mod export;
+pub mod flight;
 pub mod histogram;
 pub mod metrics;
 pub mod ring;
+pub mod span;
+pub mod waitstate;
 
 pub use clock::now_ns;
-pub use export::{chrome_trace_json, summary_table, write_chrome_trace};
+pub use critpath::{CritPathReport, RankProf};
+pub use export::{chrome_trace_json, json_escape, summary_table, write_chrome_trace};
 pub use histogram::{HistogramSnapshot, Log2Histogram};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use ring::{EventKind, EventRing, TraceEvent};
+pub use span::{ProfConfig, ProfEvent, ProfKind, ProfSpan, ProfState};
+pub use waitstate::{WaitConstruct, WaitState, WaitStats, WaitStatsSnapshot};
 
 /// What the trace layer records.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -346,6 +353,18 @@ impl RankTrace {
     /// Drain the ring (empty when events are off).
     pub fn events(&self) -> Vec<TraceEvent> {
         self.ring.as_ref().map(|r| r.snapshot()).unwrap_or_default()
+    }
+
+    /// Metrics snapshot with the ring's push/loss accounting filled in,
+    /// so exporters can surface overflow (`Metrics::snapshot` alone
+    /// leaves `ring_pushed`/`ring_lost` at 0 — the ring lives here).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut m = self.metrics.snapshot();
+        if let Some(ring) = &self.ring {
+            m.ring_pushed = ring.pushed();
+            m.ring_lost = ring.lost();
+        }
+        m
     }
 }
 

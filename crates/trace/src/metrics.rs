@@ -76,6 +76,8 @@ impl Metrics {
             cache_fill_bytes: self.cache_fill_bytes.snapshot(),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            ring_pushed: 0,
+            ring_lost: 0,
         }
     }
 }
@@ -121,6 +123,11 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Remote gets that missed the read cache and filled a line.
     pub cache_misses: u64,
+    /// Events ever pushed to this rank's trace ring (0 when the ring is
+    /// off; filled at export time, not by [`Metrics::snapshot`]).
+    pub ring_pushed: u64,
+    /// Ring events lost to wraparound or writer collision.
+    pub ring_lost: u64,
 }
 
 impl MetricsSnapshot {
@@ -167,6 +174,8 @@ impl MetricsSnapshot {
             cache_fill_bytes: self.cache_fill_bytes.merged(&other.cache_fill_bytes),
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
+            ring_pushed: self.ring_pushed + other.ring_pushed,
+            ring_lost: self.ring_lost + other.ring_lost,
         }
     }
 }

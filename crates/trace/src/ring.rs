@@ -188,6 +188,12 @@ impl EventRing {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Events no longer retrievable: writer-collision drops plus events
+    /// overwritten by wraparound once `pushed` exceeds the capacity.
+    pub fn lost(&self) -> u64 {
+        self.dropped() + self.pushed().saturating_sub(self.capacity() as u64)
+    }
+
     /// Record an event, stamping its sequence number. Lock-free.
     #[inline]
     pub fn push(&self, mut ev: TraceEvent) {

@@ -33,6 +33,7 @@ fn fabric(agg: Option<AggConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> {
         agg,
         check: None,
         cache: None,
+        prof: None,
     })
 }
 

@@ -33,6 +33,7 @@ fn fabric(cache: Option<CacheConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> 
         agg: None,
         check: None,
         cache,
+        prof: None,
     })
 }
 

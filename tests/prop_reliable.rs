@@ -27,6 +27,7 @@ fn faulty_fabric(plan: FaultPlan) -> Arc<Fabric> {
         agg: None,
         check: None,
         cache: None,
+        prof: None,
     })
 }
 
