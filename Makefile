@@ -7,9 +7,9 @@ CARGO ?= cargo
 # each fully reproducible (see README "Robustness").
 CHAOS_SEEDS ?= 101 202 303
 
-.PHONY: ci fmt clippy test chaos check-race bench-smoke prof-smoke
+.PHONY: ci fmt clippy test chaos check-race bench-smoke prof-smoke explore-smoke
 
-ci: fmt clippy test chaos check-race bench-smoke prof-smoke
+ci: fmt clippy test chaos check-race bench-smoke prof-smoke explore-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -52,3 +52,11 @@ bench-smoke:
 prof-smoke:
 	$(CARGO) test -q --test prof_integration
 	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench profiler
+
+# The model-checking gate: bounded exhaustive exploration on two corpus
+# bugs plus a clean benchmark (`smoke_` subset of explore_corpus), and
+# bit-for-bit replay of every committed minimized schedule under
+# tests/schedules/ (README "Model checking").
+explore-smoke:
+	$(CARGO) test -q --test explore_corpus smoke_
+	$(CARGO) test -q --test explore_replay

@@ -38,6 +38,7 @@ fn fabric(agg: Option<AggConfig>) -> Arc<Fabric> {
         check: None,
         cache: None,
         prof: None,
+        schedule: None,
     })
 }
 

@@ -43,6 +43,7 @@ fn fabric(cache: Option<CacheConfig>, simnet: Option<SimNet>) -> Arc<Fabric> {
         check: None,
         cache,
         prof: None,
+        schedule: None,
     })
 }
 

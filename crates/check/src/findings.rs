@@ -4,7 +4,7 @@ use rupcxx_util::sync::Mutex;
 use std::sync::Arc;
 
 /// Classification of a checker finding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FindingKind {
     /// Two concurrent conflicting global-memory accesses.
     DataRace,
@@ -64,6 +64,18 @@ impl std::fmt::Display for Finding {
 /// through `CheckConfig::with_sink` to assert on the outcome even when
 /// the job aborts (deadlock findings surface as panics).
 pub type FindingSink = Arc<Mutex<Vec<Finding>>>;
+
+/// The schedule-independent verdict of a run: the distinct finding kinds
+/// observed, sorted. Exploration dedups bugs by this (two schedules that
+/// expose the same kind are the same bug), while full messages are
+/// compared only across replays of the *same* schedule — they embed clock
+/// snapshots that legitimately differ between delivery orders.
+pub fn verdict(findings: &[Finding]) -> Vec<FindingKind> {
+    let mut kinds: Vec<FindingKind> = findings.iter().map(|f| f.kind).collect();
+    kinds.sort();
+    kinds.dedup();
+    kinds
+}
 
 /// Render the end-of-job report body.
 pub fn render_report(findings: &[Finding]) -> String {

@@ -24,7 +24,7 @@ mod shadow;
 
 pub use checker::{Checker, LockKey, WaitInfo};
 pub use clock::{Stamp, VClock};
-pub use findings::{render_report, Finding, FindingKind, FindingSink};
+pub use findings::{render_report, verdict, Finding, FindingKind, FindingSink};
 pub use shadow::{AccessKind, AccessRecord, Shadow, SHADOW_PRUNE_THRESHOLD};
 
 use rupcxx_util::sync::Mutex;

@@ -497,6 +497,7 @@ mod tests {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         })
     }
 
@@ -662,6 +663,7 @@ mod tests {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         });
         assert!(!plain.agg_enabled(0));
         plain.xor_u64_buffered(0, GlobalAddr::new(1, 0), 9);
@@ -713,6 +715,7 @@ mod tests {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         });
         for _ in 0..8 {
             f.add_u64_buffered(0, GlobalAddr::new(1, 0), 1);

@@ -14,6 +14,7 @@ use crate::aggregate::{AggConfig, AggState};
 use crate::cache::{CacheConfig, CacheState};
 use crate::faults::FaultPlan;
 use crate::reliable::{AmChannel, PeerUnreachable};
+use crate::schedule::{SchedState, ScheduleConfig};
 use crate::segment::Segment;
 use crate::stats::{CommCounts, CommStats};
 use crate::Rank;
@@ -292,6 +293,12 @@ pub struct FabricConfig {
     /// Optional causal profiler (`RUPCXX_PROF`). None (the default)
     /// keeps every hook at one untaken branch, with no spans on the wire.
     pub prof: Option<ProfConfig>,
+    /// Optional controlled delivery schedule (`RUPCXX_SCHEDULE`, see
+    /// [`crate::schedule`]). None (the default) keeps the AM delivery
+    /// path at one untaken branch with wire traffic bit-for-bit
+    /// unchanged. Mutually exclusive with `faults`: the schedule replaces
+    /// the fate hash as the source of delivery-order nondeterminism.
+    pub schedule: Option<ScheduleConfig>,
 }
 
 impl Default for FabricConfig {
@@ -306,6 +313,7 @@ impl Default for FabricConfig {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         }
     }
 }
@@ -325,6 +333,8 @@ pub struct Fabric {
     pub(crate) failure_detail: Mutex<Option<PeerUnreachable>>,
     /// The job's shared race/deadlock checker; None disables every hook.
     pub(crate) check: Option<Arc<Checker>>,
+    /// Controlled delivery scheduler; None keeps the direct AM path.
+    pub(crate) sched: Option<SchedState>,
 }
 
 impl Fabric {
@@ -332,6 +342,15 @@ impl Fabric {
     pub fn new(config: FabricConfig) -> Arc<Self> {
         assert!(config.ranks > 0, "fabric needs at least one rank");
         let faults = config.faults.filter(|p| !p.is_noop());
+        assert!(
+            faults.is_none() || config.schedule.is_none(),
+            "fault injection and controlled scheduling are mutually exclusive: \
+             both decide AM delivery order"
+        );
+        let sched = config
+            .schedule
+            .as_ref()
+            .map(|cfg| SchedState::new(config.ranks, cfg));
         let endpoints = (0..config.ranks)
             .map(|rank| {
                 Endpoint::new(
@@ -358,6 +377,7 @@ impl Fabric {
             prof_dumped: AtomicBool::new(false),
             failure_detail: Mutex::new(None),
             check,
+            sched,
         })
     }
 
@@ -870,10 +890,12 @@ impl Fabric {
             clock,
             prof,
         };
-        // The single faults-off branch on the AM path; local deliveries
-        // never traverse the (faulty) wire.
+        // The single faults-off/schedule-off branch on the AM path; local
+        // deliveries never traverse the (faulty or scheduled) wire.
         if self.faults.is_some() && initiator != dst {
             self.am_transmit(initiator, dst, msg);
+        } else if self.sched.is_some() && initiator != dst {
+            self.sched_park(initiator, dst, msg);
         } else {
             self.endpoints[dst].inbox.push(msg);
         }
@@ -959,6 +981,7 @@ mod tests {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         })
     }
 
@@ -1105,6 +1128,7 @@ mod tests {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         });
         // Remote word put takes at least the injected latency.
         let t = std::time::Instant::now();
@@ -1135,6 +1159,7 @@ mod tests {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         });
         let data = vec![0u8; 512 << 10];
         let t = std::time::Instant::now();
@@ -1190,6 +1215,7 @@ mod tests {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         });
         assert!(!f.has_faults(), "a no-op plan must not slow the fabric");
         f.send_am(

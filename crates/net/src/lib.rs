@@ -27,6 +27,7 @@ pub mod fabric;
 pub mod faults;
 pub mod pod;
 pub mod reliable;
+pub mod schedule;
 pub mod segment;
 pub mod stats;
 
@@ -38,6 +39,10 @@ pub use pod::Pod;
 pub use reliable::PeerUnreachable;
 pub use rupcxx_check::{CheckConfig, Checker};
 pub use rupcxx_trace::{ProfConfig, ProfState};
+pub use schedule::{
+    new_recorder, DeliveryRecord, RecordLog, SchedCounts, Schedule, ScheduleConfig,
+    ScheduleRecorder,
+};
 pub use segment::Segment;
 pub use stats::{CommCounts, CommStats, PerDestStats};
 

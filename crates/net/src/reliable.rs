@@ -339,9 +339,16 @@ impl Fabric {
     }
 
     /// True when no frame destined for `me` is still buffered, held or
-    /// awaiting retransmission. Teardown drains until this holds, so
-    /// end-of-job counter snapshots are stable.
+    /// awaiting retransmission — by the reliable layer *or* the
+    /// controlled scheduler. Teardown drains until this holds, so
+    /// end-of-job counter snapshots are stable. The scheduler's parked
+    /// frames are counted fabric-wide (a sound superset): quiescence is
+    /// only ever asserted globally (deadlock scan's quiet check,
+    /// teardown), so the coarser probe never reports quiet too early.
     pub fn links_quiescent(&self, me: Rank) -> bool {
+        if self.sched_pending() != 0 {
+            return false;
+        }
         match &self.endpoints[me].reliable {
             None => true,
             Some(ch) => ch.links.iter().all(|l| l.lock().is_quiescent()),
@@ -456,6 +463,7 @@ mod tests {
             check: None,
             cache: None,
             prof: None,
+            schedule: None,
         })
     }
 

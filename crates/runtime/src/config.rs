@@ -1,6 +1,6 @@
 //! Runtime configuration.
 
-use rupcxx_net::{AggConfig, CacheConfig, CheckConfig, FaultPlan, SimNet};
+use rupcxx_net::{AggConfig, CacheConfig, CheckConfig, FaultPlan, ScheduleConfig, SimNet};
 use rupcxx_trace::{ProfConfig, TraceConfig};
 
 /// Parameters for an SPMD job.
@@ -47,6 +47,12 @@ pub struct RuntimeConfig {
     /// `RUPCXX_PROF`; override with [`RuntimeConfig::with_prof`]. None =
     /// profiling off (one untaken branch per hook).
     pub prof: Option<ProfConfig>,
+    /// Controlled AM delivery schedule (model checking / replay).
+    /// [`RuntimeConfig::new`] seeds this from `RUPCXX_SCHEDULE`; override
+    /// with [`RuntimeConfig::with_schedule`]. None = direct delivery
+    /// (one untaken branch per AM, wire traffic unchanged). Mutually
+    /// exclusive with `faults`.
+    pub schedule: Option<ScheduleConfig>,
 }
 
 impl RuntimeConfig {
@@ -63,6 +69,7 @@ impl RuntimeConfig {
             check: CheckConfig::from_env(),
             cache: CacheConfig::from_env(),
             prof: ProfConfig::from_env(),
+            schedule: ScheduleConfig::from_env(),
         }
     }
 
@@ -102,6 +109,13 @@ impl RuntimeConfig {
     /// Enable the causal cross-rank profiler (overriding `RUPCXX_PROF`).
     pub fn with_prof(mut self, prof: ProfConfig) -> Self {
         self.prof = Some(prof);
+        self
+    }
+
+    /// Install a controlled AM delivery schedule (overriding
+    /// `RUPCXX_SCHEDULE`).
+    pub fn with_schedule(mut self, schedule: ScheduleConfig) -> Self {
+        self.schedule = Some(schedule);
         self
     }
 

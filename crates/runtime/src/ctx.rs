@@ -73,7 +73,12 @@ impl Ctx {
         // single relaxed load when nothing is buffered), so a rank that
         // blocks in `wait_until` cannot strand ops a peer is waiting on.
         let flushed = self.shared.fabric.flush_agg(self.rank);
-        let pumped = self.shared.fabric.pump_incoming(self.rank) + flushed;
+        // With a controlled schedule installed, release every delivery the
+        // schedule currently allows (any rank's engine may drive the
+        // global order — delivery is just an inbox push); one untaken
+        // branch otherwise.
+        let scheduled = self.shared.fabric.pump_schedule();
+        let pumped = self.shared.fabric.pump_incoming(self.rank) + flushed + scheduled;
         let ep = self.shared.fabric.endpoint(self.rank);
         if !ep.trace.enabled() {
             // Untraced fast path: identical to the pre-trace engine.
@@ -361,16 +366,21 @@ impl Ctx {
     }
 
     /// Serve progress until every rank has completed its SPMD closure —
-    /// and, under fault injection, until no frame destined for this rank
-    /// is still lost/held/buffered. A rank exiting a barrier does *not*
-    /// imply its peers stopped transmitting, so without the quiescence
-    /// wait, end-of-job retransmit counts would be racy.
+    /// and, under fault injection or controlled scheduling, until no
+    /// frame destined for this rank is still lost/held/buffered/parked.
+    /// A rank exiting a barrier does *not* imply its peers stopped
+    /// transmitting, so without the quiescence wait, end-of-job
+    /// retransmit counts would be racy.
     pub(crate) fn drain_until_all_complete(&self) {
         let n = self.ranks();
-        self.wait_until(|| {
-            self.shared.completed.load(Ordering::Acquire) >= n
-                && self.shared.fabric.links_quiescent(self.rank)
-        });
+        self.wait_until(|| self.shared.completed.load(Ordering::Acquire) >= n);
+        // Every closure has returned: no further sends will satisfy an
+        // unconsumed schedule pick, so switch the controlled scheduler
+        // into drain mode before waiting for quiescence — this is what
+        // makes teardown schedule-agnostic (a stale pick can't hang it).
+        // No-op without a schedule.
+        self.shared.fabric.sched_finish();
+        self.wait_until(|| self.shared.fabric.links_quiescent(self.rank));
         // One final drain: tasks may have been enqueued concurrently with
         // the last completion.
         self.advance();

@@ -2,7 +2,8 @@
 
 use crate::alloc::SegAllocator;
 use rupcxx_net::{
-    AggConfig, CacheConfig, CheckConfig, Fabric, FabricConfig, FaultPlan, Rank, SimNet,
+    AggConfig, CacheConfig, CheckConfig, Fabric, FabricConfig, FaultPlan, Rank, ScheduleConfig,
+    SimNet,
 };
 use rupcxx_trace::{ProfConfig, TraceConfig};
 use rupcxx_util::sync::Mutex;
@@ -169,6 +170,7 @@ impl Shared {
             None,
             None,
             None,
+            None,
         )
     }
 
@@ -177,9 +179,11 @@ impl Shared {
     /// module), optional per-destination aggregation thresholds (its
     /// `aggregate` module), an optional race/deadlock checker config
     /// (`rupcxx-check`), an optional software read-cache config (its
-    /// `cache` module) and an optional causal-profiler config
-    /// (`rupcxx-trace`'s `span` module); the SPMD launcher passes
-    /// `RuntimeConfig::{faults, agg, check, cache, prof}` through.
+    /// `cache` module), an optional causal-profiler config
+    /// (`rupcxx-trace`'s `span` module) and an optional controlled
+    /// delivery schedule (its `schedule` module); the SPMD launcher
+    /// passes `RuntimeConfig::{faults, agg, check, cache, prof,
+    /// schedule}` through.
     #[allow(clippy::too_many_arguments)]
     pub fn new_full(
         ranks: usize,
@@ -192,6 +196,7 @@ impl Shared {
         check: Option<CheckConfig>,
         cache: Option<CacheConfig>,
         prof: Option<ProfConfig>,
+        schedule: Option<ScheduleConfig>,
     ) -> Arc<Self> {
         let fabric = Fabric::new(FabricConfig {
             ranks,
@@ -203,6 +208,7 @@ impl Shared {
             check,
             cache,
             prof,
+            schedule,
         });
         Arc::new(Shared {
             fabric,

@@ -52,6 +52,7 @@ where
         config.check.clone(),
         config.cache.clone(),
         config.prof.clone(),
+        config.schedule.clone(),
     );
     let body = &body;
     let progress_stop = std::sync::atomic::AtomicBool::new(false);

@@ -1,0 +1,63 @@
+//! `RUPCXX_SCHEDULE` environment plumbing: a committed minimized
+//! schedule replays as an ordinary checked `cargo test`, with no
+//! exploration machinery involved. One test only — environment variables
+//! are process-global, and this binary is the process that owns them.
+
+use rupcxx_check::{new_sink, CheckConfig, FindingKind};
+use rupcxx_explore::corpus::find;
+use rupcxx_runtime::{spmd, RuntimeConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn env_schedule_replays_committed_regression() {
+    // File form: point RUPCXX_SCHEDULE at the committed minimized
+    // schedule for the schedule-dependent showcase bug and run the
+    // program exactly as any checked test would. The replayed delivery
+    // order strands rank 0 on the never-signaled event; the checker
+    // aborts the job and reports it.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/schedules/order_sensitive_event.sched"
+    );
+    std::env::set_var("RUPCXX_SCHEDULE", path);
+    let e = find("order_sensitive_event");
+    let sink = new_sink();
+    let mut rt = RuntimeConfig::new(e.ranks)
+        .segment_bytes(1 << 16)
+        .with_check(CheckConfig::all().with_sink(sink.clone()));
+    assert!(rt.schedule.is_some(), "RUPCXX_SCHEDULE seeds the config");
+    rt.faults = None; // faults and controlled scheduling are exclusive
+    let program = (e.make)();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        spmd(rt, |ctx| {
+            program(ctx);
+        })
+    }));
+    assert!(err.is_err(), "the replayed schedule must abort the job");
+    assert!(
+        sink.lock()
+            .iter()
+            .any(|f| f.kind == FindingKind::EventNeverSignaled),
+        "expected the replayed event-never-signaled finding, got: {:?}",
+        sink.lock()
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // Inline form: picks parse straight out of the variable.
+    std::env::set_var("RUPCXX_SCHEDULE", "inline:# rupcxx schedule v1;0->1;1->0");
+    let rt = RuntimeConfig::new(2);
+    let picks = &rt
+        .schedule
+        .as_ref()
+        .expect("inline schedule")
+        .schedule
+        .picks;
+    assert_eq!(picks, &[(0, 1), (1, 0)]);
+
+    // Explicit off.
+    std::env::set_var("RUPCXX_SCHEDULE", "off");
+    assert!(RuntimeConfig::new(2).schedule.is_none());
+    std::env::remove_var("RUPCXX_SCHEDULE");
+}

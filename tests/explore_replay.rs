@@ -1,0 +1,114 @@
+//! Replay determinism: the committed `tests/schedules/*.sched` files —
+//! each the ddmin-minimized schedule exploration produced for one corpus
+//! bug — must reproduce their finding *byte-for-byte identically* on
+//! every replay. This is the regression contract: a minimized schedule
+//! is only useful as a test if replaying it is deterministic.
+
+use rupcxx_explore::corpus::{config_for, find, ENTRIES};
+use rupcxx_explore::run_schedule;
+use rupcxx_net::Schedule;
+
+fn load(name: &str) -> Schedule {
+    let path = format!(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/schedules/{}.sched"),
+        name
+    );
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (run the ignored regen_schedules test)"));
+    Schedule::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Replay one committed schedule three times; the finding transcript must
+/// be byte-identical every time and contain the planted bug.
+fn assert_deterministic_replay(name: &str) {
+    let e = find(name);
+    let cfg = config_for(e);
+    let schedule = load(name);
+    let transcripts: Vec<String> = (0..3)
+        .map(|_| {
+            let out = run_schedule(&cfg, schedule.clone(), &e.make);
+            assert!(
+                out.verdict.contains(&e.expect),
+                "{name}: committed schedule lost the bug, got {:?}",
+                out.verdict
+            );
+            out.findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    assert!(!transcripts[0].is_empty(), "{name}: no findings recorded");
+    assert_eq!(transcripts[0], transcripts[1], "{name}: replay 2 diverged");
+    assert_eq!(transcripts[0], transcripts[2], "{name}: replay 3 diverged");
+}
+
+#[test]
+fn smoke_replay_race_put_vs_read() {
+    assert_deterministic_replay("race_put_vs_read");
+}
+
+#[test]
+fn replay_race_write_write() {
+    assert_deterministic_replay("race_write_write");
+}
+
+#[test]
+fn replay_race_agg_put() {
+    assert_deterministic_replay("race_agg_put");
+}
+
+#[test]
+fn replay_lock_across_barrier() {
+    assert_deterministic_replay("lock_across_barrier");
+}
+
+#[test]
+fn replay_deadlock_abba() {
+    assert_deterministic_replay("deadlock_abba");
+}
+
+#[test]
+fn replay_deadlock_self_reacquire() {
+    assert_deterministic_replay("deadlock_self_reacquire");
+}
+
+#[test]
+fn replay_event_never_signaled() {
+    assert_deterministic_replay("event_never_signaled");
+}
+
+#[test]
+fn replay_barrier_mismatch() {
+    assert_deterministic_replay("barrier_mismatch");
+}
+
+#[test]
+fn smoke_replay_order_sensitive_event() {
+    assert_deterministic_replay("order_sensitive_event");
+}
+
+/// Every corpus entry has a committed schedule, and the
+/// schedule-dependent showcase's is genuinely non-canonical — the proof
+/// that exploration (not a lucky baseline) produced it.
+#[test]
+fn committed_schedules_cover_the_corpus() {
+    for e in ENTRIES {
+        let s = load(e.name);
+        assert!(
+            s.random_seed.is_none(),
+            "{}: minimized schedules are explicit",
+            e.name
+        );
+        if e.schedule_dependent {
+            assert!(!s.picks.is_empty(), "{}: expected reordering picks", e.name);
+        } else {
+            assert!(
+                s.picks.is_empty(),
+                "{}: expected the canonical schedule",
+                e.name
+            );
+        }
+    }
+}

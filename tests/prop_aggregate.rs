@@ -34,6 +34,7 @@ fn fabric(agg: Option<AggConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> {
         check: None,
         cache: None,
         prof: None,
+        schedule: None,
     })
 }
 

@@ -34,6 +34,7 @@ fn fabric(cache: Option<CacheConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> 
         check: None,
         cache,
         prof: None,
+        schedule: None,
     })
 }
 

@@ -28,6 +28,7 @@ fn faulty_fabric(plan: FaultPlan) -> Arc<Fabric> {
         check: None,
         cache: None,
         prof: None,
+        schedule: None,
     })
 }
 
