@@ -7,9 +7,9 @@ CARGO ?= cargo
 # each fully reproducible (see README "Robustness").
 CHAOS_SEEDS ?= 101 202 303
 
-.PHONY: ci fmt clippy test chaos check-race bench-smoke prof-smoke explore-smoke
+.PHONY: ci fmt clippy test chaos check-race bench-smoke prof-smoke explore-smoke conduit-smoke
 
-ci: fmt clippy test chaos check-race bench-smoke prof-smoke explore-smoke
+ci: fmt clippy test chaos check-race bench-smoke prof-smoke explore-smoke conduit-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -60,3 +60,11 @@ prof-smoke:
 explore-smoke:
 	$(CARGO) test -q --test explore_corpus smoke_
 	$(CARGO) test -q --test explore_replay
+
+# The transport-conduit gate: a 2-process GUPS run over the shm and uds
+# conduits (real OS processes talking through mmap'd rings / Unix
+# sockets) must match the in-process loopback checksum bit-for-bit
+# (`smoke_` subset of conduit_conformance; README "Conduits"). Release
+# mode keeps the whole thing under ~5 s.
+conduit-smoke:
+	$(CARGO) test -q --release --test conduit_conformance smoke_

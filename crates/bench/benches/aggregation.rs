@@ -39,6 +39,7 @@ fn fabric(agg: Option<AggConfig>) -> Arc<Fabric> {
         cache: None,
         prof: None,
         schedule: None,
+        remote: None,
     })
 }
 

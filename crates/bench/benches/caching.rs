@@ -44,6 +44,7 @@ fn fabric(cache: Option<CacheConfig>, simnet: Option<SimNet>) -> Arc<Fabric> {
         cache,
         prof: None,
         schedule: None,
+        remote: None,
     })
 }
 

@@ -498,6 +498,7 @@ mod tests {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         })
     }
 
@@ -664,6 +665,7 @@ mod tests {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         });
         assert!(!plain.agg_enabled(0));
         plain.xor_u64_buffered(0, GlobalAddr::new(1, 0), 9);
@@ -716,6 +718,7 @@ mod tests {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         });
         for _ in 0..8 {
             f.add_u64_buffered(0, GlobalAddr::new(1, 0), 1);

@@ -1,0 +1,798 @@
+//! Wire format for conduit frames.
+//!
+//! Every cross-process interaction — AM delivery, one-sided RMA, the
+//! FIN/ack teardown handshake — is one of the frames below, encoded
+//! little-endian into a conduit byte frame. The format is deliberately
+//! dumb: a tag byte, then fixed-width fields, then length-prefixed
+//! payloads. Encoders write into a caller-supplied scratch `Vec` (the
+//! fabric keeps one per link, so steady-state sends allocate nothing);
+//! the decoder borrows from the received frame.
+//!
+//! AM frames carry the optional checker clock stamp and profiler span so
+//! the happens-before checker and the causal profiler work unchanged
+//! across process boundaries. RMA *request* frames carry the initiator's
+//! stamp so the receiver can run the same `frame_access` race check that
+//! `apply_frame` runs for aggregated frames in-process.
+
+use rupcxx_check::Stamp;
+use rupcxx_trace::ProfSpan;
+
+const TAG_AM_HANDLER: u8 = 1;
+const TAG_AM_BATCH: u8 = 2;
+const TAG_PUT: u8 = 3;
+const TAG_PUT_STRIDED: u8 = 4;
+const TAG_GET_REQ: u8 = 5;
+const TAG_GET_STRIDED_REQ: u8 = 6;
+const TAG_RMW_REQ: u8 = 7;
+const TAG_RESP_DATA: u8 = 8;
+const TAG_RESP_WORD: u8 = 9;
+const TAG_ACK: u8 = 10;
+const TAG_FIN: u8 = 11;
+const TAG_FIN_ACK: u8 = 12;
+
+/// Read-modify-write opcodes carried by [`WireFrame::RmwReq`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmwOp {
+    /// `fetch_xor(a)` — returns the previous value.
+    Xor,
+    /// `fetch_add(a)` — returns the previous value.
+    Add,
+    /// `compare_exchange(a, b)` — returns (ok, previous value).
+    Cas,
+}
+
+impl RmwOp {
+    fn code(self) -> u8 {
+        match self {
+            RmwOp::Xor => 0,
+            RmwOp::Add => 1,
+            RmwOp::Cas => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> RmwOp {
+        match c {
+            0 => RmwOp::Xor,
+            1 => RmwOp::Add,
+            2 => RmwOp::Cas,
+            _ => panic!("conduit wire: bad rmw opcode {c}"),
+        }
+    }
+}
+
+/// A decoded conduit frame; payload slices borrow from the raw frame.
+#[derive(Debug)]
+pub enum WireFrame<'a> {
+    /// Registered-handler AM: id + argument bytes.
+    AmHandler {
+        /// Checker clock stamp, if the checker is on.
+        clock: Option<Stamp>,
+        /// Profiler span, if the profiler is on.
+        prof: Option<ProfSpan>,
+        /// Handler registry id.
+        id: u16,
+        /// Argument bytes.
+        args: &'a [u8],
+    },
+    /// Aggregated batch AM: `count` frames in `aggregate` encoding.
+    AmBatch {
+        /// Checker clock stamp, if the checker is on.
+        clock: Option<Stamp>,
+        /// Profiler span, if the profiler is on.
+        prof: Option<ProfSpan>,
+        /// Number of aggregated frames.
+        count: u32,
+        /// The packed frames.
+        frames: &'a [u8],
+    },
+    /// One-sided put into the receiver's segment; acked by token.
+    Put {
+        /// Initiator's clock stamp for the receiver-side race check.
+        stamp: Option<Stamp>,
+        /// Reply-matching token.
+        token: u64,
+        /// Destination segment offset.
+        offset: u64,
+        /// Bytes to store.
+        data: &'a [u8],
+    },
+    /// Strided put: `nblocks` blocks of `block` bytes, `stride` apart.
+    PutStrided {
+        /// Initiator's clock stamp for the receiver-side race check.
+        stamp: Option<Stamp>,
+        /// Reply-matching token.
+        token: u64,
+        /// Destination offset of block 0.
+        offset: u64,
+        /// Byte distance between consecutive block starts.
+        stride: u64,
+        /// Bytes per block.
+        block: u32,
+        /// Number of blocks.
+        nblocks: u32,
+        /// Packed block data (`block * nblocks` bytes).
+        data: &'a [u8],
+    },
+    /// One-sided get request; answered with [`WireFrame::RespData`].
+    GetReq {
+        /// Initiator's clock stamp for the receiver-side race check.
+        stamp: Option<Stamp>,
+        /// Reply-matching token.
+        token: u64,
+        /// Source segment offset.
+        offset: u64,
+        /// Bytes wanted.
+        len: u32,
+    },
+    /// Strided get request; answered with [`WireFrame::RespData`].
+    GetStridedReq {
+        /// Initiator's clock stamp for the receiver-side race check.
+        stamp: Option<Stamp>,
+        /// Reply-matching token.
+        token: u64,
+        /// Source offset of block 0.
+        offset: u64,
+        /// Byte distance between consecutive block starts.
+        stride: u64,
+        /// Bytes per block.
+        block: u32,
+        /// Number of blocks.
+        nblocks: u32,
+    },
+    /// Atomic read-modify-write request; answered with
+    /// [`WireFrame::RespWord`].
+    RmwReq {
+        /// Initiator's clock stamp for the receiver-side race check.
+        stamp: Option<Stamp>,
+        /// Reply-matching token.
+        token: u64,
+        /// Opcode.
+        op: RmwOp,
+        /// Target segment offset (8-byte aligned).
+        offset: u64,
+        /// First operand (xor/add operand, cas expected value).
+        a: u64,
+        /// Second operand (cas new value).
+        b: u64,
+    },
+    /// Data reply to a get request.
+    RespData {
+        /// Token of the request this answers.
+        token: u64,
+        /// The fetched bytes.
+        data: &'a [u8],
+    },
+    /// Word reply to an RMW request.
+    RespWord {
+        /// Token of the request this answers.
+        token: u64,
+        /// CAS success flag (always true for xor/add).
+        ok: bool,
+        /// Previous value at the target word.
+        val: u64,
+    },
+    /// Completion ack for a put.
+    Ack {
+        /// Token of the put this acknowledges.
+        token: u64,
+    },
+    /// Link teardown: "I sent you exactly `frames` data frames; I will
+    /// send no more." FIFO ordering makes the count checkable on arrival.
+    Fin {
+        /// Data frames (everything except FIN/FIN_ACK) sent on this link.
+        frames: u64,
+    },
+    /// Acknowledges a FIN; after this the sender may drop the link.
+    FinAck,
+}
+
+// --- primitive writers -------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, u32::try_from(b.len()).expect("frame payload > 4 GiB"));
+    buf.extend_from_slice(b);
+}
+
+fn put_stamp(buf: &mut Vec<u8>, stamp: Option<&Stamp>) {
+    match stamp {
+        None => put_u16(buf, 0),
+        Some(s) => {
+            let words = &s.0;
+            assert!(!words.is_empty(), "empty clock stamp on the wire");
+            put_u16(
+                buf,
+                u16::try_from(words.len()).expect("stamp > 65535 ranks"),
+            );
+            for w in words.iter() {
+                put_u64(buf, *w);
+            }
+        }
+    }
+}
+
+fn put_prof(buf: &mut Vec<u8>, prof: Option<&ProfSpan>) {
+    match prof {
+        None => buf.push(0),
+        Some(p) => {
+            buf.push(1);
+            put_u64(buf, p.id);
+            put_u64(buf, p.inject_ns);
+        }
+    }
+}
+
+// --- encoders (into a reusable scratch buffer) -------------------------
+
+/// Encode a handler AM. Clears `buf` first.
+pub fn encode_am_handler(
+    buf: &mut Vec<u8>,
+    clock: Option<&Stamp>,
+    prof: Option<&ProfSpan>,
+    id: u16,
+    args: &[u8],
+) {
+    buf.clear();
+    buf.push(TAG_AM_HANDLER);
+    put_stamp(buf, clock);
+    put_prof(buf, prof);
+    put_u16(buf, id);
+    put_bytes(buf, args);
+}
+
+/// Encode a batch AM. Clears `buf` first.
+pub fn encode_am_batch(
+    buf: &mut Vec<u8>,
+    clock: Option<&Stamp>,
+    prof: Option<&ProfSpan>,
+    count: u32,
+    frames: &[u8],
+) {
+    buf.clear();
+    buf.push(TAG_AM_BATCH);
+    put_stamp(buf, clock);
+    put_prof(buf, prof);
+    put_u32(buf, count);
+    put_bytes(buf, frames);
+}
+
+/// Encode a put request. Clears `buf` first.
+pub fn encode_put(buf: &mut Vec<u8>, stamp: Option<&Stamp>, token: u64, offset: u64, data: &[u8]) {
+    buf.clear();
+    buf.push(TAG_PUT);
+    put_stamp(buf, stamp);
+    put_u64(buf, token);
+    put_u64(buf, offset);
+    put_bytes(buf, data);
+}
+
+/// Encode a strided-put request. Clears `buf` first.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_put_strided(
+    buf: &mut Vec<u8>,
+    stamp: Option<&Stamp>,
+    token: u64,
+    offset: u64,
+    stride: u64,
+    block: u32,
+    nblocks: u32,
+    data: &[u8],
+) {
+    buf.clear();
+    buf.push(TAG_PUT_STRIDED);
+    put_stamp(buf, stamp);
+    put_u64(buf, token);
+    put_u64(buf, offset);
+    put_u64(buf, stride);
+    put_u32(buf, block);
+    put_u32(buf, nblocks);
+    put_bytes(buf, data);
+}
+
+/// Encode a get request. Clears `buf` first.
+pub fn encode_get_req(buf: &mut Vec<u8>, stamp: Option<&Stamp>, token: u64, offset: u64, len: u32) {
+    buf.clear();
+    buf.push(TAG_GET_REQ);
+    put_stamp(buf, stamp);
+    put_u64(buf, token);
+    put_u64(buf, offset);
+    put_u32(buf, len);
+}
+
+/// Encode a strided-get request. Clears `buf` first.
+pub fn encode_get_strided_req(
+    buf: &mut Vec<u8>,
+    stamp: Option<&Stamp>,
+    token: u64,
+    offset: u64,
+    stride: u64,
+    block: u32,
+    nblocks: u32,
+) {
+    buf.clear();
+    buf.push(TAG_GET_STRIDED_REQ);
+    put_stamp(buf, stamp);
+    put_u64(buf, token);
+    put_u64(buf, offset);
+    put_u64(buf, stride);
+    put_u32(buf, block);
+    put_u32(buf, nblocks);
+}
+
+/// Encode an RMW request. Clears `buf` first.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_rmw_req(
+    buf: &mut Vec<u8>,
+    stamp: Option<&Stamp>,
+    token: u64,
+    op: RmwOp,
+    offset: u64,
+    a: u64,
+    b: u64,
+) {
+    buf.clear();
+    buf.push(TAG_RMW_REQ);
+    put_stamp(buf, stamp);
+    put_u64(buf, token);
+    buf.push(op.code());
+    put_u64(buf, offset);
+    put_u64(buf, a);
+    put_u64(buf, b);
+}
+
+/// Encode a data reply. Clears `buf` first.
+pub fn encode_resp_data(buf: &mut Vec<u8>, token: u64, data: &[u8]) {
+    buf.clear();
+    buf.push(TAG_RESP_DATA);
+    put_u64(buf, token);
+    put_bytes(buf, data);
+}
+
+/// Encode a word reply. Clears `buf` first.
+pub fn encode_resp_word(buf: &mut Vec<u8>, token: u64, ok: bool, val: u64) {
+    buf.clear();
+    buf.push(TAG_RESP_WORD);
+    put_u64(buf, token);
+    buf.push(ok as u8);
+    put_u64(buf, val);
+}
+
+/// Encode a put ack. Clears `buf` first.
+pub fn encode_ack(buf: &mut Vec<u8>, token: u64) {
+    buf.clear();
+    buf.push(TAG_ACK);
+    put_u64(buf, token);
+}
+
+/// Encode a link FIN carrying the data-frame count. Clears `buf` first.
+pub fn encode_fin(buf: &mut Vec<u8>, frames: u64) {
+    buf.clear();
+    buf.push(TAG_FIN);
+    put_u64(buf, frames);
+}
+
+/// Encode a FIN ack. Clears `buf` first.
+pub fn encode_fin_ack(buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.push(TAG_FIN_ACK);
+}
+
+/// True for frames counted by the FIN handshake (everything except the
+/// handshake itself).
+pub fn is_data_frame(frame: &[u8]) -> bool {
+    !matches!(frame.first(), Some(&TAG_FIN) | Some(&TAG_FIN_ACK))
+}
+
+// --- decoder -----------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .expect("conduit wire: truncated frame");
+        self.pos += n;
+        s
+    }
+
+    fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn bytes(&mut self) -> &'a [u8] {
+        let n = self.u32() as usize;
+        self.take(n)
+    }
+
+    fn stamp(&mut self) -> Option<Stamp> {
+        let words = self.u16() as usize;
+        if words == 0 {
+            return None;
+        }
+        let mut v = Vec::with_capacity(words);
+        for _ in 0..words {
+            v.push(self.u64());
+        }
+        Some(Stamp(v.into_boxed_slice()))
+    }
+
+    fn prof(&mut self) -> Option<ProfSpan> {
+        if self.u8() == 0 {
+            return None;
+        }
+        Some(ProfSpan {
+            id: self.u64(),
+            inject_ns: self.u64(),
+        })
+    }
+
+    fn done(&self) {
+        assert_eq!(
+            self.pos,
+            self.buf.len(),
+            "conduit wire: trailing bytes in frame"
+        );
+    }
+}
+
+/// Decode one conduit frame.
+///
+/// # Panics
+/// Panics on a malformed frame: the conduit contract is reliable ordered
+/// byte delivery, so corruption here is a codec bug, not a network
+/// condition.
+pub fn decode(frame: &[u8]) -> WireFrame<'_> {
+    let mut c = Cursor { buf: frame, pos: 0 };
+    let tag = c.u8();
+    let out = match tag {
+        TAG_AM_HANDLER => {
+            let clock = c.stamp();
+            let prof = c.prof();
+            let id = c.u16();
+            let args = c.bytes();
+            WireFrame::AmHandler {
+                clock,
+                prof,
+                id,
+                args,
+            }
+        }
+        TAG_AM_BATCH => {
+            let clock = c.stamp();
+            let prof = c.prof();
+            let count = c.u32();
+            let frames = c.bytes();
+            WireFrame::AmBatch {
+                clock,
+                prof,
+                count,
+                frames,
+            }
+        }
+        TAG_PUT => {
+            let stamp = c.stamp();
+            let token = c.u64();
+            let offset = c.u64();
+            let data = c.bytes();
+            WireFrame::Put {
+                stamp,
+                token,
+                offset,
+                data,
+            }
+        }
+        TAG_PUT_STRIDED => {
+            let stamp = c.stamp();
+            let token = c.u64();
+            let offset = c.u64();
+            let stride = c.u64();
+            let block = c.u32();
+            let nblocks = c.u32();
+            let data = c.bytes();
+            WireFrame::PutStrided {
+                stamp,
+                token,
+                offset,
+                stride,
+                block,
+                nblocks,
+                data,
+            }
+        }
+        TAG_GET_REQ => {
+            let stamp = c.stamp();
+            let token = c.u64();
+            let offset = c.u64();
+            let len = c.u32();
+            WireFrame::GetReq {
+                stamp,
+                token,
+                offset,
+                len,
+            }
+        }
+        TAG_GET_STRIDED_REQ => {
+            let stamp = c.stamp();
+            let token = c.u64();
+            let offset = c.u64();
+            let stride = c.u64();
+            let block = c.u32();
+            let nblocks = c.u32();
+            WireFrame::GetStridedReq {
+                stamp,
+                token,
+                offset,
+                stride,
+                block,
+                nblocks,
+            }
+        }
+        TAG_RMW_REQ => {
+            let stamp = c.stamp();
+            let token = c.u64();
+            let op = RmwOp::from_code(c.u8());
+            let offset = c.u64();
+            let a = c.u64();
+            let b = c.u64();
+            WireFrame::RmwReq {
+                stamp,
+                token,
+                op,
+                offset,
+                a,
+                b,
+            }
+        }
+        TAG_RESP_DATA => {
+            let token = c.u64();
+            let data = c.bytes();
+            WireFrame::RespData { token, data }
+        }
+        TAG_RESP_WORD => {
+            let token = c.u64();
+            let ok = c.u8() != 0;
+            let val = c.u64();
+            WireFrame::RespWord { token, ok, val }
+        }
+        TAG_ACK => WireFrame::Ack { token: c.u64() },
+        TAG_FIN => WireFrame::Fin { frames: c.u64() },
+        TAG_FIN_ACK => WireFrame::FinAck,
+        other => panic!("conduit wire: unknown frame tag {other}"),
+    };
+    c.done();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(words: &[u64]) -> Stamp {
+        Stamp(words.to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn am_handler_roundtrip() {
+        let mut buf = Vec::new();
+        let ck = stamp(&[3, 1, 4, 1]);
+        let span = ProfSpan {
+            id: 0xdead_beef,
+            inject_ns: 777,
+        };
+        encode_am_handler(&mut buf, Some(&ck), Some(&span), 42, b"payload");
+        match decode(&buf) {
+            WireFrame::AmHandler {
+                clock,
+                prof,
+                id,
+                args,
+            } => {
+                assert_eq!(&*clock.unwrap().0, &[3, 1, 4, 1]);
+                let p = prof.unwrap();
+                assert_eq!(p.id, 0xdead_beef);
+                assert_eq!(p.inject_ns, 777);
+                assert_eq!(id, 42);
+                assert_eq!(args, b"payload");
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn am_handler_without_meta() {
+        let mut buf = Vec::new();
+        encode_am_handler(&mut buf, None, None, 7, b"");
+        match decode(&buf) {
+            WireFrame::AmHandler {
+                clock,
+                prof,
+                id,
+                args,
+            } => {
+                assert!(clock.is_none());
+                assert!(prof.is_none());
+                assert_eq!(id, 7);
+                assert!(args.is_empty());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let mut buf = Vec::new();
+        encode_am_batch(&mut buf, None, None, 9, &[1, 2, 3, 4]);
+        match decode(&buf) {
+            WireFrame::AmBatch { count, frames, .. } => {
+                assert_eq!(count, 9);
+                assert_eq!(frames, &[1, 2, 3, 4]);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rma_roundtrips() {
+        let mut buf = Vec::new();
+        let ck = stamp(&[9, 9]);
+
+        encode_put(&mut buf, Some(&ck), 11, 4096, &[0xAA; 16]);
+        match decode(&buf) {
+            WireFrame::Put {
+                stamp,
+                token,
+                offset,
+                data,
+            } => {
+                assert_eq!(&*stamp.unwrap().0, &[9, 9]);
+                assert_eq!((token, offset), (11, 4096));
+                assert_eq!(data, &[0xAA; 16]);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+
+        encode_put_strided(&mut buf, None, 12, 64, 256, 8, 3, &[1; 24]);
+        match decode(&buf) {
+            WireFrame::PutStrided {
+                token,
+                offset,
+                stride,
+                block,
+                nblocks,
+                data,
+                ..
+            } => {
+                assert_eq!((token, offset, stride), (12, 64, 256));
+                assert_eq!((block, nblocks), (8, 3));
+                assert_eq!(data.len(), 24);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+
+        encode_get_req(&mut buf, None, 13, 128, 32);
+        match decode(&buf) {
+            WireFrame::GetReq {
+                token, offset, len, ..
+            } => assert_eq!((token, offset, len), (13, 128, 32)),
+            other => panic!("wrong frame {other:?}"),
+        }
+
+        encode_get_strided_req(&mut buf, None, 14, 0, 512, 16, 4);
+        match decode(&buf) {
+            WireFrame::GetStridedReq {
+                token,
+                stride,
+                block,
+                nblocks,
+                ..
+            } => assert_eq!((token, stride, block, nblocks), (14, 512, 16, 4)),
+            other => panic!("wrong frame {other:?}"),
+        }
+
+        encode_rmw_req(&mut buf, Some(&ck), 15, RmwOp::Cas, 8, 100, 200);
+        match decode(&buf) {
+            WireFrame::RmwReq {
+                token,
+                op,
+                offset,
+                a,
+                b,
+                ..
+            } => {
+                assert_eq!((token, offset, a, b), (15, 8, 100, 200));
+                assert_eq!(op, RmwOp::Cas);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_and_teardown_roundtrips() {
+        let mut buf = Vec::new();
+
+        encode_resp_data(&mut buf, 21, b"hello");
+        match decode(&buf) {
+            WireFrame::RespData { token, data } => {
+                assert_eq!(token, 21);
+                assert_eq!(data, b"hello");
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+
+        encode_resp_word(&mut buf, 22, true, u64::MAX);
+        match decode(&buf) {
+            WireFrame::RespWord { token, ok, val } => {
+                assert_eq!((token, ok, val), (22, true, u64::MAX));
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+
+        encode_ack(&mut buf, 23);
+        assert!(matches!(decode(&buf), WireFrame::Ack { token: 23 }));
+        assert!(is_data_frame(&buf));
+
+        encode_fin(&mut buf, 9001);
+        assert!(matches!(decode(&buf), WireFrame::Fin { frames: 9001 }));
+        assert!(!is_data_frame(&buf));
+
+        encode_fin_ack(&mut buf);
+        assert!(matches!(decode(&buf), WireFrame::FinAck));
+        assert!(!is_data_frame(&buf));
+    }
+
+    #[test]
+    fn scratch_buffer_is_reused_not_grown() {
+        let mut buf = Vec::with_capacity(256);
+        encode_put(&mut buf, None, 1, 0, &[0u8; 64]);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for t in 0..100 {
+            encode_put(&mut buf, None, t, 0, &[0u8; 64]);
+        }
+        assert_eq!(buf.capacity(), cap, "encode must not grow a warm scratch");
+        assert_eq!(buf.as_ptr(), ptr, "encode must not reallocate");
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated frame")]
+    fn truncated_frame_panics() {
+        let mut buf = Vec::new();
+        encode_put(&mut buf, None, 1, 0, &[1, 2, 3]);
+        buf.truncate(buf.len() - 1);
+        decode(&buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown frame tag")]
+    fn unknown_tag_panics() {
+        decode(&[0xFF]);
+    }
+}

@@ -12,8 +12,11 @@
 
 use crate::aggregate::{AggConfig, AggState};
 use crate::cache::{CacheConfig, CacheState};
+use crate::conduit::wire::RmwOp;
+use crate::conduit::RemoteConfig;
 use crate::faults::FaultPlan;
 use crate::reliable::{AmChannel, PeerUnreachable};
+use crate::remote::RemoteFabric;
 use crate::schedule::{SchedState, ScheduleConfig};
 use crate::segment::Segment;
 use crate::stats::{CommCounts, CommStats};
@@ -299,6 +302,11 @@ pub struct FabricConfig {
     /// unchanged. Mutually exclusive with `faults`: the schedule replaces
     /// the fate hash as the source of delivery-order nondeterminism.
     pub schedule: Option<ScheduleConfig>,
+    /// Multi-process mode (`RUPCXX_CONDUIT`): this OS process hosts one
+    /// rank and reaches the others through a conduit. None (the default)
+    /// keeps the in-process fabric — all ranks in one address space, AMs
+    /// delivered by direct inbox push (the "loopback conduit").
+    pub remote: Option<RemoteConfig>,
 }
 
 impl Default for FabricConfig {
@@ -314,6 +322,7 @@ impl Default for FabricConfig {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         }
     }
 }
@@ -335,6 +344,13 @@ pub struct Fabric {
     pub(crate) check: Option<Arc<Checker>>,
     /// Controlled delivery scheduler; None keeps the direct AM path.
     pub(crate) sched: Option<SchedState>,
+    /// Conduit transport to out-of-process peers; None = in-process.
+    pub(crate) remote: Option<RemoteFabric>,
+    /// Segment size every rank was configured with. Equal to
+    /// `endpoints[r].segment.len()` in-process; in remote mode the stub
+    /// endpoints have zero-sized segments, so remote bounds checks (and
+    /// the read cache's line clamping) use this instead.
+    pub(crate) seg_bytes: usize,
 }
 
 impl Fabric {
@@ -347,16 +363,35 @@ impl Fabric {
             "fault injection and controlled scheduling are mutually exclusive: \
              both decide AM delivery order"
         );
+        assert!(
+            config.remote.is_none() || config.schedule.is_none(),
+            "the controlled schedule needs every rank's pending queues in one \
+             address space: run RUPCXX_SCHEDULE jobs on the loopback conduit"
+        );
         let sched = config
             .schedule
             .as_ref()
             .map(|cfg| SchedState::new(config.ranks, cfg));
+        // Building the conduit blocks until the whole mesh is up, so by
+        // the time any rank's fabric exists its peers are reachable.
+        let remote = config
+            .remote
+            .as_ref()
+            .map(|rc| RemoteFabric::new(rc, config.ranks));
         let endpoints = (0..config.ranks)
             .map(|rank| {
+                // In remote mode only the hosted rank gets real memory;
+                // peers are zero-sized stubs, so any accidental direct
+                // access to "their" segment panics out-of-bounds — a
+                // built-in detector for layers bypassing the conduit.
+                let seg = match &config.remote {
+                    Some(rc) if rank != rc.my_rank => 0,
+                    _ => config.segment_bytes,
+                };
                 Endpoint::new(
                     rank,
                     config.ranks,
-                    config.segment_bytes,
+                    seg,
                     &config.trace,
                     faults.is_some(),
                     config.agg.as_ref(),
@@ -378,6 +413,8 @@ impl Fabric {
             failure_detail: Mutex::new(None),
             check,
             sched,
+            remote,
+            seg_bytes: config.segment_bytes,
         })
     }
 
@@ -573,11 +610,15 @@ impl Fabric {
     /// [`Fabric::put_u64`].
     pub fn put(&self, initiator: Rank, dst: GlobalAddr, data: &[u8]) {
         let t0 = self.put_prologue(initiator, dst, data.len(), AccessKind::Write, "put");
-        let seg = &self.endpoints[dst.rank].segment;
-        if data.len() == 8 && dst.offset.is_multiple_of(8) {
-            seg.store_u64(dst.offset, u64::from_le_bytes(data.try_into().unwrap()));
+        if let Some(r) = self.remote_to(dst.rank) {
+            self.remote_put(r, dst, data);
         } else {
-            seg.write_bytes(dst.offset, data);
+            let seg = &self.endpoints[dst.rank].segment;
+            if data.len() == 8 && dst.offset.is_multiple_of(8) {
+                seg.store_u64(dst.offset, u64::from_le_bytes(data.try_into().unwrap()));
+            } else {
+                seg.write_bytes(dst.offset, data);
+            }
         }
         self.trace_rma(EventKind::Put, initiator, dst.rank, data.len(), t0);
     }
@@ -596,11 +637,15 @@ impl Fabric {
     /// The uncached fabric get: also the fill path of [`Fabric::get`].
     fn get_direct(&self, initiator: Rank, src: GlobalAddr, buf: &mut [u8]) {
         let t0 = self.get_prologue(initiator, src, buf.len(), "get");
-        let seg = &self.endpoints[src.rank].segment;
-        if buf.len() == 8 && src.offset.is_multiple_of(8) {
-            buf.copy_from_slice(&seg.load_u64(src.offset).to_le_bytes());
+        if let Some(r) = self.remote_to(src.rank) {
+            self.remote_get(r, src, buf);
         } else {
-            seg.read_bytes(src.offset, buf);
+            let seg = &self.endpoints[src.rank].segment;
+            if buf.len() == 8 && src.offset.is_multiple_of(8) {
+                buf.copy_from_slice(&seg.load_u64(src.offset).to_le_bytes());
+            } else {
+                seg.read_bytes(src.offset, buf);
+            }
         }
         self.trace_rma(EventKind::Get, initiator, src.rank, buf.len(), t0);
     }
@@ -614,7 +659,9 @@ impl Fabric {
     fn get_cached(&self, initiator: Rank, src: GlobalAddr, buf: &mut [u8]) {
         let ep = &self.endpoints[initiator];
         let cache = ep.cache.as_ref().unwrap();
-        let seg_len = self.endpoints[src.rank].segment.len();
+        // Every rank's segment has the configured size; in remote mode
+        // the peer's stub segment here is empty, so ask the config.
+        let seg_len = self.seg_bytes;
         if buf.is_empty() || src.offset + buf.len() > seg_len {
             // Degenerate or out-of-bounds: identical behaviour (and panic
             // message) to the uncached path.
@@ -657,7 +704,11 @@ impl Fabric {
                     self.count_get(initiator, src.rank, line_len);
                     self.wire(initiator, src.rank, line_len);
                     let mut data = vec![0u8; line_len];
-                    self.endpoints[src.rank].segment.read_bytes(base, &mut data);
+                    if let Some(r) = self.remote_to(src.rank) {
+                        self.remote_get(r, GlobalAddr::new(src.rank, base), &mut data);
+                    } else {
+                        self.endpoints[src.rank].segment.read_bytes(base, &mut data);
+                    }
                     self.trace_rma(EventKind::Get, initiator, src.rank, line_len, t0);
                     chunk.copy_from_slice(&data[off - base..off - base + take]);
                     let fill = self.check.as_ref().map(|ck| ck.send_stamp(initiator));
@@ -675,9 +726,13 @@ impl Fabric {
     #[inline]
     pub fn put_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
         let t0 = self.put_prologue(initiator, dst, 8, AccessKind::Write, "put");
-        self.endpoints[dst.rank]
-            .segment
-            .store_u64(dst.offset, value);
+        if let Some(r) = self.remote_to(dst.rank) {
+            self.remote_put(r, dst, &value.to_le_bytes());
+        } else {
+            self.endpoints[dst.rank]
+                .segment
+                .store_u64(dst.offset, value);
+        }
         self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
     }
 
@@ -697,7 +752,13 @@ impl Fabric {
     #[inline]
     fn get_u64_direct(&self, initiator: Rank, src: GlobalAddr) -> u64 {
         let t0 = self.get_prologue(initiator, src, 8, "get");
-        let v = self.endpoints[src.rank].segment.load_u64(src.offset);
+        let v = if let Some(r) = self.remote_to(src.rank) {
+            let mut buf = [0u8; 8];
+            self.remote_get(r, src, &mut buf);
+            u64::from_le_bytes(buf)
+        } else {
+            self.endpoints[src.rank].segment.load_u64(src.offset)
+        };
         self.trace_rma(EventKind::Get, initiator, src.rank, 8, t0);
         v
     }
@@ -706,9 +767,13 @@ impl Fabric {
     #[inline]
     pub fn xor_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
         let t0 = self.rmw_prologue(initiator, dst, "xor");
-        let v = self.endpoints[dst.rank]
-            .segment
-            .fetch_xor_u64(dst.offset, value);
+        let v = if let Some(r) = self.remote_to(dst.rank) {
+            self.remote_rmw(r, RmwOp::Xor, dst, value, 0).1
+        } else {
+            self.endpoints[dst.rank]
+                .segment
+                .fetch_xor_u64(dst.offset, value)
+        };
         self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
         v
     }
@@ -717,9 +782,13 @@ impl Fabric {
     #[inline]
     pub fn add_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
         let t0 = self.rmw_prologue(initiator, dst, "add");
-        let v = self.endpoints[dst.rank]
-            .segment
-            .fetch_add_u64(dst.offset, value);
+        let v = if let Some(r) = self.remote_to(dst.rank) {
+            self.remote_rmw(r, RmwOp::Add, dst, value, 0).1
+        } else {
+            self.endpoints[dst.rank]
+                .segment
+                .fetch_add_u64(dst.offset, value)
+        };
         self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
         v
     }
@@ -734,9 +803,18 @@ impl Fabric {
         new: u64,
     ) -> Result<u64, u64> {
         let t0 = self.rmw_prologue(initiator, dst, "cas");
-        let r = self.endpoints[dst.rank]
-            .segment
-            .cas_u64(dst.offset, current, new);
+        let r = if let Some(rf) = self.remote_to(dst.rank) {
+            let (ok, prev) = self.remote_rmw(rf, RmwOp::Cas, dst, current, new);
+            if ok {
+                Ok(prev)
+            } else {
+                Err(prev)
+            }
+        } else {
+            self.endpoints[dst.rank]
+                .segment
+                .cas_u64(dst.offset, current, new)
+        };
         self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
         r
     }
@@ -783,12 +861,16 @@ impl Fabric {
             // bytes' lines too is safe (a dropped line only costs a refill).
             self.invalidate_own(initiator, dst, (nblocks - 1) * dst_stride + block);
         }
-        let seg = &self.endpoints[dst.rank].segment;
-        for b in 0..nblocks {
-            seg.write_bytes(
-                dst.offset + b * dst_stride,
-                &src[b * block..(b + 1) * block],
-            );
+        if let Some(r) = self.remote_to(dst.rank) {
+            self.remote_put_strided(r, dst, dst_stride, src, block, nblocks);
+        } else {
+            let seg = &self.endpoints[dst.rank].segment;
+            for b in 0..nblocks {
+                seg.write_bytes(
+                    dst.offset + b * dst_stride,
+                    &src[b * block..(b + 1) * block],
+                );
+            }
         }
         self.trace_rma(EventKind::Put, initiator, dst.rank, src.len(), t0);
     }
@@ -823,12 +905,16 @@ impl Fabric {
         }
         self.count_get(initiator, src.rank, buf.len());
         self.wire(initiator, src.rank, buf.len());
-        let seg = &self.endpoints[src.rank].segment;
-        for b in 0..nblocks {
-            seg.read_bytes(
-                src.offset + b * src_stride,
-                &mut buf[b * block..(b + 1) * block],
-            );
+        if let Some(r) = self.remote_to(src.rank) {
+            self.remote_get_strided(r, src, src_stride, buf, block, nblocks);
+        } else {
+            let seg = &self.endpoints[src.rank].segment;
+            for b in 0..nblocks {
+                seg.read_bytes(
+                    src.offset + b * src_stride,
+                    &mut buf[b * block..(b + 1) * block],
+                );
+            }
         }
         self.trace_rma(EventKind::Get, initiator, src.rank, buf.len(), t0);
     }
@@ -890,6 +976,12 @@ impl Fabric {
             clock,
             prof,
         };
+        // Out-of-process destination: the fully-built message (clock and
+        // span attached) goes on the wire; the receiving process re-runs
+        // the delivery tail below, fate draw included.
+        if let Some(r) = self.remote_to(dst) {
+            return self.remote_send_am(r, dst, msg);
+        }
         // The single faults-off/schedule-off branch on the AM path; local
         // deliveries never traverse the (faulty or scheduled) wire.
         if self.faults.is_some() && initiator != dst {
@@ -982,6 +1074,7 @@ mod tests {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         })
     }
 
@@ -1129,6 +1222,7 @@ mod tests {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         });
         // Remote word put takes at least the injected latency.
         let t = std::time::Instant::now();
@@ -1160,6 +1254,7 @@ mod tests {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         });
         let data = vec![0u8; 512 << 10];
         let t = std::time::Instant::now();
@@ -1216,6 +1311,7 @@ mod tests {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         });
         assert!(!f.has_faults(), "a no-op plan must not slow the fabric");
         f.send_am(

@@ -23,16 +23,22 @@
 
 pub mod aggregate;
 pub mod cache;
+pub mod conduit;
 pub mod fabric;
 pub mod faults;
 pub mod pod;
 pub mod reliable;
+pub(crate) mod remote;
 pub mod schedule;
 pub mod segment;
 pub mod stats;
 
 pub use aggregate::{AggConfig, BatchReader, Frame};
 pub use cache::{CacheConfig, CacheState};
+pub use conduit::{
+    Conduit, ConduitEvent, ConduitSel, LoopbackConduit, RemoteConfig, ShmConduit, SocketConduit,
+    CONDUIT_SYNTAX,
+};
 pub use fabric::{AmMessage, AmPayload, Endpoint, Fabric, FabricConfig, GlobalAddr, SimNet};
 pub use faults::{Fate, FaultPlan, LinkRule};
 pub use pod::Pod;

@@ -464,6 +464,7 @@ mod tests {
             cache: None,
             prof: None,
             schedule: None,
+            remote: None,
         })
     }
 

@@ -1,0 +1,616 @@
+//! Multi-process fabric: the glue between the in-process [`Fabric`] API
+//! and a [`Conduit`](crate::conduit::Conduit).
+//!
+//! With `FabricConfig::remote` set, this OS process hosts exactly one
+//! rank; the other endpoints are zero-sized stubs (any accidental direct
+//! access to a stub segment panics — a built-in detector for layering
+//! violations). Every public fabric operation keeps its full prologue —
+//! counters, trace spans, checker hooks, the fault gate, aggregation —
+//! bit-for-bit identical to the loopback path, and only the final
+//! "touch the peer's memory / push to the peer's inbox" step is swapped
+//! for wire frames (see [`crate::conduit::wire`]):
+//!
+//! * puts/gets/atomics become synchronous token-matched request/reply
+//!   round trips, preserving the blocking RMA semantics;
+//! * AMs are re-assembled on the receiving side and then fed through
+//!   *exactly* the same delivery tail as a local send — including the
+//!   reliable layer's fate draw (`am_transmit`), so fault injection and
+//!   retransmission wrap any conduit unchanged;
+//! * teardown quiescence is an explicit FIN/ack handshake per link,
+//!   carrying the sender's data-frame count (per-link FIFO makes the
+//!   count checkable on arrival).
+//!
+//! A [`ConduitEvent::Closed`] for a peer that has not completed its FIN
+//! handshake is a genuine failure domain: it is classified through the
+//! same `mark_unreachable` funnel the reliable layer uses, so killing a
+//! real process surfaces as a [`PeerUnreachable`] panic with a flight-
+//! recorder dump instead of a hang.
+
+use crate::conduit::wire::{self, RmwOp, WireFrame};
+use crate::conduit::{self, Conduit, ConduitEvent, RemoteConfig};
+use crate::fabric::{AmMessage, AmPayload, Fabric, GlobalAddr};
+use crate::reliable::PeerUnreachable;
+use crate::Rank;
+use rupcxx_check::{AccessKind, Stamp};
+use rupcxx_util::sync::Mutex;
+use rupcxx_util::Bytes;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Abandon a blocked reply wait after this long with no conduit progress
+/// (backstop against protocol bugs; genuine peer death is classified via
+/// `Closed` events or the reliable layer long before this fires).
+const REPLY_STALL_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A reply matched back to a waiting request by token.
+#[derive(Debug)]
+enum Reply {
+    /// Put / strided-put completion.
+    Ack,
+    /// Get / strided-get data.
+    Data(Vec<u8>),
+    /// RMW result: (cas ok, previous value).
+    Word(bool, u64),
+}
+
+/// Per-process state for a conduit-backed fabric.
+pub(crate) struct RemoteFabric {
+    pub(crate) conduit: Box<dyn Conduit>,
+    /// The one rank this process hosts.
+    pub(crate) me: Rank,
+    next_token: AtomicU64,
+    replies: Mutex<HashMap<u64, Reply>>,
+    /// Per-destination encode scratch: reused across frames so the
+    /// steady-state send path performs no allocation.
+    scratch: Box<[Mutex<Vec<u8>>]>,
+    /// Data frames sent per link (carried by our FIN).
+    data_sent: Box<[AtomicU64]>,
+    /// Data frames received per link (checked against the peer's FIN).
+    data_recvd: Box<[AtomicU64]>,
+    fin_recvd: Box<[AtomicBool]>,
+    fin_acked: Box<[AtomicBool]>,
+    /// Serializes frame dispatch: per-link FIFO must survive the rank
+    /// thread and a progress thread pumping concurrently.
+    pump_lock: Mutex<()>,
+}
+
+impl RemoteFabric {
+    pub(crate) fn new(cfg: &RemoteConfig, ranks: usize) -> RemoteFabric {
+        let conduit = conduit::build(&cfg.conduit, cfg.my_rank, ranks);
+        RemoteFabric {
+            conduit,
+            me: cfg.my_rank,
+            next_token: AtomicU64::new(1),
+            replies: Mutex::new(HashMap::new()),
+            scratch: (0..ranks).map(|_| Mutex::new(Vec::new())).collect(),
+            data_sent: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            data_recvd: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            fin_recvd: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            fin_acked: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            pump_lock: Mutex::new(()),
+        }
+    }
+
+    /// Encode one frame into the link's scratch buffer and send it.
+    fn send_encoded(&self, dst: Rank, enc: impl FnOnce(&mut Vec<u8>)) {
+        let mut buf = self.scratch[dst].lock();
+        enc(&mut buf);
+        if wire::is_data_frame(&buf) {
+            self.data_sent[dst].fetch_add(1, Ordering::Relaxed);
+        }
+        self.conduit.send(dst, &buf);
+    }
+
+    fn fresh_token(&self) -> u64 {
+        self.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Fabric {
+    /// True when this fabric reaches its peers through a conduit (one
+    /// rank per OS process) rather than in-process endpoints.
+    pub fn is_remote(&self) -> bool {
+        self.remote.is_some()
+    }
+
+    /// The conduit backend name, if a conduit is installed.
+    pub fn conduit_name(&self) -> Option<&'static str> {
+        self.remote.as_ref().map(|r| r.conduit.name())
+    }
+
+    /// The remote state when `target` lives in another process.
+    #[inline]
+    pub(crate) fn remote_to(&self, target: Rank) -> Option<&RemoteFabric> {
+        match &self.remote {
+            Some(r) if r.me != target => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The initiator's clock stamp for an outgoing RMA frame, so the
+    /// receiving process can run the same `frame_access` race check the
+    /// aggregation layer runs for batched frames.
+    fn rma_stamp(&self, initiator: Rank) -> Option<Stamp> {
+        self.check.as_ref().map(|ck| ck.send_stamp(initiator))
+    }
+
+    /// Bounds check mirroring the segment's own panic for local ops: the
+    /// initiator should fail, not the (innocent) target process.
+    fn check_remote_bounds(&self, addr: GlobalAddr, len: usize, op: &str) {
+        assert!(
+            addr.offset + len <= self.seg_bytes,
+            "{op}: out of bounds: offset {} + len {len} > segment {}",
+            addr.offset,
+            self.seg_bytes
+        );
+    }
+
+    /// Block until the reply for `token` arrives, serving incoming
+    /// conduit traffic while spinning (two ranks mid-RMA into each other
+    /// must each answer the other's request).
+    fn wait_reply(&self, r: &RemoteFabric, token: u64) -> Reply {
+        let mut last_progress = Instant::now();
+        let mut spins = 0u32;
+        loop {
+            if let Some(rep) = r.replies.lock().remove(&token) {
+                return rep;
+            }
+            if self.pump_conduit(r.me) > 0 {
+                last_progress = Instant::now();
+                continue;
+            }
+            if self.has_failed() {
+                let detail = self.failure().expect("failed without detail");
+                panic!("{detail}");
+            }
+            assert!(
+                last_progress.elapsed() < REPLY_STALL_TIMEOUT,
+                "conduit reply stalled: rank {} waiting on token {token}",
+                r.me
+            );
+            spins += 1;
+            if spins >= 64 {
+                spins = 0;
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Remote put tail (prologue already ran): PUT frame + ack.
+    pub(crate) fn remote_put(&self, r: &RemoteFabric, dst: GlobalAddr, data: &[u8]) {
+        self.check_remote_bounds(dst, data.len(), "put");
+        let token = r.fresh_token();
+        let stamp = self.rma_stamp(r.me);
+        r.send_encoded(dst.rank, |b| {
+            wire::encode_put(b, stamp.as_ref(), token, dst.offset as u64, data)
+        });
+        match self.wait_reply(r, token) {
+            Reply::Ack => {}
+            other => panic!("put reply mismatch: {other:?}"),
+        }
+    }
+
+    /// Remote get tail: GET_REQ frame + data reply.
+    pub(crate) fn remote_get(&self, r: &RemoteFabric, src: GlobalAddr, buf: &mut [u8]) {
+        self.check_remote_bounds(src, buf.len(), "get");
+        let token = r.fresh_token();
+        let stamp = self.rma_stamp(r.me);
+        r.send_encoded(src.rank, |b| {
+            wire::encode_get_req(
+                b,
+                stamp.as_ref(),
+                token,
+                src.offset as u64,
+                buf.len() as u32,
+            )
+        });
+        match self.wait_reply(r, token) {
+            Reply::Data(d) => buf.copy_from_slice(&d),
+            other => panic!("get reply mismatch: {other:?}"),
+        }
+    }
+
+    /// Remote atomic tail: RMW_REQ frame + word reply `(ok, previous)`.
+    pub(crate) fn remote_rmw(
+        &self,
+        r: &RemoteFabric,
+        op: RmwOp,
+        dst: GlobalAddr,
+        a: u64,
+        b: u64,
+    ) -> (bool, u64) {
+        self.check_remote_bounds(dst, 8, "rmw");
+        let token = r.fresh_token();
+        let stamp = self.rma_stamp(r.me);
+        r.send_encoded(dst.rank, |buf| {
+            wire::encode_rmw_req(buf, stamp.as_ref(), token, op, dst.offset as u64, a, b)
+        });
+        match self.wait_reply(r, token) {
+            Reply::Word(ok, val) => (ok, val),
+            other => panic!("rmw reply mismatch: {other:?}"),
+        }
+    }
+
+    /// Remote strided-put tail.
+    pub(crate) fn remote_put_strided(
+        &self,
+        r: &RemoteFabric,
+        dst: GlobalAddr,
+        dst_stride: usize,
+        src: &[u8],
+        block: usize,
+        nblocks: usize,
+    ) {
+        if nblocks > 0 {
+            self.check_remote_bounds(dst, (nblocks - 1) * dst_stride + block, "put_strided");
+        }
+        let token = r.fresh_token();
+        let stamp = self.rma_stamp(r.me);
+        r.send_encoded(dst.rank, |b| {
+            wire::encode_put_strided(
+                b,
+                stamp.as_ref(),
+                token,
+                dst.offset as u64,
+                dst_stride as u64,
+                block as u32,
+                nblocks as u32,
+                src,
+            )
+        });
+        match self.wait_reply(r, token) {
+            Reply::Ack => {}
+            other => panic!("put_strided reply mismatch: {other:?}"),
+        }
+    }
+
+    /// Remote strided-get tail.
+    pub(crate) fn remote_get_strided(
+        &self,
+        r: &RemoteFabric,
+        src: GlobalAddr,
+        src_stride: usize,
+        buf: &mut [u8],
+        block: usize,
+        nblocks: usize,
+    ) {
+        if nblocks > 0 {
+            self.check_remote_bounds(src, (nblocks - 1) * src_stride + block, "get_strided");
+        }
+        let token = r.fresh_token();
+        let stamp = self.rma_stamp(r.me);
+        r.send_encoded(src.rank, |b| {
+            wire::encode_get_strided_req(
+                b,
+                stamp.as_ref(),
+                token,
+                src.offset as u64,
+                src_stride as u64,
+                block as u32,
+                nblocks as u32,
+            )
+        });
+        match self.wait_reply(r, token) {
+            Reply::Data(d) => buf.copy_from_slice(&d),
+            other => panic!("get_strided reply mismatch: {other:?}"),
+        }
+    }
+
+    /// Remote AM tail (all of `send_am`'s prologue — aggregation
+    /// pre-flush, counters, trace, clock/span attach — already ran).
+    pub(crate) fn remote_send_am(&self, r: &RemoteFabric, dst: Rank, msg: AmMessage) {
+        match &msg.payload {
+            AmPayload::Handler { id, args } => {
+                r.send_encoded(dst, |b| {
+                    wire::encode_am_handler(b, msg.clock.as_ref(), msg.prof.as_ref(), *id, args)
+                });
+            }
+            AmPayload::Batch { frames, count } => {
+                r.send_encoded(dst, |b| {
+                    wire::encode_am_batch(b, msg.clock.as_ref(), msg.prof.as_ref(), *count, frames)
+                });
+            }
+            AmPayload::Task(_) => panic!(
+                "closure AMs cannot cross process boundaries: register a handler \
+                 (send_handler) instead of sending a boxed task to rank {dst}"
+            ),
+        }
+    }
+
+    /// Drain and dispatch pending conduit events. Returns the number of
+    /// events processed (0 without a conduit, or when another thread is
+    /// already pumping — dispatch is serialized to keep per-link FIFO).
+    pub fn pump_conduit(&self, me: Rank) -> usize {
+        let Some(r) = &self.remote else { return 0 };
+        debug_assert_eq!(me, r.me, "pump_conduit from a stub rank");
+        let Some(_guard) = r.pump_lock.try_lock() else {
+            return 0;
+        };
+        let mut work = 0;
+        while let Some(ev) = r.conduit.try_recv() {
+            work += 1;
+            match ev {
+                ConduitEvent::Frame(src, frame) => self.dispatch_frame(r, src, &frame),
+                ConduitEvent::Closed(src) => {
+                    // A closure after the peer's FIN is a clean goodbye;
+                    // before it, the peer died mid-job.
+                    if !r.fin_recvd[src].load(Ordering::Acquire) {
+                        self.mark_unreachable(PeerUnreachable {
+                            src: r.me,
+                            dst: src,
+                            seq: 0,
+                            attempts: 0,
+                        });
+                    }
+                    // Either way the peer can no longer ack our FIN.
+                    r.fin_acked[src].store(true, Ordering::Release);
+                }
+            }
+        }
+        work
+    }
+
+    /// Receiver-side checker hook for wire RMA frames: the same
+    /// stamp-carrying `frame_access` the aggregation layer uses.
+    #[allow(clippy::too_many_arguments)]
+    fn frame_check(
+        &self,
+        src: Rank,
+        me: Rank,
+        offset: usize,
+        len: usize,
+        kind: AccessKind,
+        stamp: Option<&Stamp>,
+        op: &'static str,
+    ) {
+        if let (Some(ck), Some(stamp)) = (&self.check, stamp) {
+            ck.frame_access(src, me, offset, len, kind, stamp, op);
+        }
+    }
+
+    /// Decode and execute one data frame from `src`.
+    fn dispatch_frame(&self, r: &RemoteFabric, src: Rank, frame: &[u8]) {
+        let me = r.me;
+        if wire::is_data_frame(frame) {
+            r.data_recvd[src].fetch_add(1, Ordering::Relaxed);
+        }
+        match wire::decode(frame) {
+            WireFrame::AmHandler {
+                clock,
+                prof,
+                id,
+                args,
+            } => {
+                let msg = AmMessage {
+                    src,
+                    payload: AmPayload::Handler {
+                        id,
+                        args: Bytes::from(args.to_vec()),
+                    },
+                    clock,
+                    prof,
+                };
+                self.deliver_arrival(src, me, msg);
+            }
+            WireFrame::AmBatch {
+                clock,
+                prof,
+                count,
+                frames,
+            } => {
+                let msg = AmMessage {
+                    src,
+                    payload: AmPayload::Batch {
+                        frames: Bytes::from(frames.to_vec()),
+                        count,
+                    },
+                    clock,
+                    prof,
+                };
+                self.deliver_arrival(src, me, msg);
+            }
+            WireFrame::Put {
+                stamp,
+                token,
+                offset,
+                data,
+            } => {
+                let offset = offset as usize;
+                self.frame_check(
+                    src,
+                    me,
+                    offset,
+                    data.len(),
+                    AccessKind::Write,
+                    stamp.as_ref(),
+                    "put",
+                );
+                let seg = &self.endpoints[me].segment;
+                if data.len() == 8 && offset.is_multiple_of(8) {
+                    seg.store_u64(offset, u64::from_le_bytes(data.try_into().unwrap()));
+                } else {
+                    seg.write_bytes(offset, data);
+                }
+                r.send_encoded(src, |b| wire::encode_ack(b, token));
+            }
+            WireFrame::PutStrided {
+                stamp,
+                token,
+                offset,
+                stride,
+                block,
+                nblocks,
+                data,
+            } => {
+                let (offset, stride) = (offset as usize, stride as usize);
+                let (block, nblocks) = (block as usize, nblocks as usize);
+                let seg = &self.endpoints[me].segment;
+                for bi in 0..nblocks {
+                    self.frame_check(
+                        src,
+                        me,
+                        offset + bi * stride,
+                        block,
+                        AccessKind::Write,
+                        stamp.as_ref(),
+                        "put-strided",
+                    );
+                    seg.write_bytes(offset + bi * stride, &data[bi * block..(bi + 1) * block]);
+                }
+                r.send_encoded(src, |b| wire::encode_ack(b, token));
+            }
+            WireFrame::GetReq {
+                stamp,
+                token,
+                offset,
+                len,
+            } => {
+                let (offset, len) = (offset as usize, len as usize);
+                self.frame_check(
+                    src,
+                    me,
+                    offset,
+                    len,
+                    AccessKind::Read,
+                    stamp.as_ref(),
+                    "get",
+                );
+                let mut data = vec![0u8; len];
+                self.endpoints[me].segment.read_bytes(offset, &mut data);
+                r.send_encoded(src, |b| wire::encode_resp_data(b, token, &data));
+            }
+            WireFrame::GetStridedReq {
+                stamp,
+                token,
+                offset,
+                stride,
+                block,
+                nblocks,
+            } => {
+                let (offset, stride) = (offset as usize, stride as usize);
+                let (block, nblocks) = (block as usize, nblocks as usize);
+                let mut data = vec![0u8; block * nblocks];
+                let seg = &self.endpoints[me].segment;
+                for bi in 0..nblocks {
+                    self.frame_check(
+                        src,
+                        me,
+                        offset + bi * stride,
+                        block,
+                        AccessKind::Read,
+                        stamp.as_ref(),
+                        "get-strided",
+                    );
+                    seg.read_bytes(
+                        offset + bi * stride,
+                        &mut data[bi * block..(bi + 1) * block],
+                    );
+                }
+                r.send_encoded(src, |b| wire::encode_resp_data(b, token, &data));
+            }
+            WireFrame::RmwReq {
+                stamp,
+                token,
+                op,
+                offset,
+                a,
+                b,
+            } => {
+                let offset = offset as usize;
+                self.frame_check(
+                    src,
+                    me,
+                    offset,
+                    8,
+                    AccessKind::Atomic,
+                    stamp.as_ref(),
+                    "rmw",
+                );
+                let seg = &self.endpoints[me].segment;
+                let (ok, val) = match op {
+                    RmwOp::Xor => (true, seg.fetch_xor_u64(offset, a)),
+                    RmwOp::Add => (true, seg.fetch_add_u64(offset, a)),
+                    RmwOp::Cas => match seg.cas_u64(offset, a, b) {
+                        Ok(prev) => (true, prev),
+                        Err(prev) => (false, prev),
+                    },
+                };
+                r.send_encoded(src, |buf| wire::encode_resp_word(buf, token, ok, val));
+            }
+            WireFrame::RespData { token, data } => {
+                r.replies.lock().insert(token, Reply::Data(data.to_vec()));
+            }
+            WireFrame::RespWord { token, ok, val } => {
+                r.replies.lock().insert(token, Reply::Word(ok, val));
+            }
+            WireFrame::Ack { token } => {
+                r.replies.lock().insert(token, Reply::Ack);
+            }
+            WireFrame::Fin { frames } => {
+                let got = r.data_recvd[src].load(Ordering::Relaxed);
+                assert_eq!(
+                    got, frames,
+                    "conduit FIN from rank {src}: it sent {frames} data frames, \
+                     rank {me} received {got} — per-link FIFO violated"
+                );
+                r.fin_recvd[src].store(true, Ordering::Release);
+                r.send_encoded(src, wire::encode_fin_ack);
+            }
+            WireFrame::FinAck => {
+                r.fin_acked[src].store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// The delivery tail shared by local sends and conduit arrivals: the
+    /// reliable layer's fate draw, the controlled scheduler, or a direct
+    /// inbox push. Feeding decoded arrivals through `am_transmit` is what
+    /// lets simulated faults wrap a *real* transport unchanged — per-link
+    /// FIFO on the conduit means arrival order equals send order, so the
+    /// deterministic fate sequence matches the loopback run exactly.
+    pub(crate) fn deliver_arrival(&self, src: Rank, me: Rank, msg: AmMessage) {
+        if self.faults.is_some() && src != me {
+            self.am_transmit(src, me, msg);
+        } else if self.sched.is_some() && src != me {
+            self.sched_park(src, me, msg);
+        } else {
+            self.endpoints[me].inbox.push(msg);
+        }
+    }
+
+    /// Conduit-level teardown handshake (the out-of-process replacement
+    /// for "peek at every peer's queue depth"): flush each link, announce
+    /// our per-link data-frame count with a FIN, serve incoming traffic
+    /// until every peer has both FIN'd us and acked our FIN, then shut
+    /// the transport down. Call only after global completion (all
+    /// application sends done and links quiescent).
+    pub fn conduit_teardown(&self, me: Rank) {
+        let Some(r) = &self.remote else { return };
+        debug_assert_eq!(me, r.me);
+        for dst in 0..self.ranks() {
+            if dst == me {
+                continue;
+            }
+            r.conduit.flush(dst);
+            let sent = r.data_sent[dst].load(Ordering::Relaxed);
+            r.send_encoded(dst, |b| wire::encode_fin(b, sent));
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            self.pump_conduit(me);
+            let done = (0..self.ranks()).filter(|&p| p != me).all(|p| {
+                r.fin_recvd[p].load(Ordering::Acquire) && r.fin_acked[p].load(Ordering::Acquire)
+            });
+            if done || self.has_failed() {
+                break;
+            }
+            if Instant::now() > deadline {
+                eprintln!("rupcxx: conduit teardown timed out waiting for FIN handshake");
+                break;
+            }
+            std::thread::yield_now();
+        }
+        r.conduit.shutdown();
+    }
+}

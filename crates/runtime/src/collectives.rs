@@ -32,6 +32,16 @@ pub(crate) fn deposit(ctx: &Ctx, domain: u64, dst: Rank, key: u64, bytes: Vec<u8
         ctx.shared().mailboxes[me].deposit(domain, key, me, bytes);
         return;
     }
+    // Multi-process jobs cannot ship a boxed closure: use the registered
+    // builtin deposit handler, whose id + packed args cross the wire.
+    if let Some(b) = ctx.shared().builtins {
+        let mut args = Vec::with_capacity(16 + bytes.len());
+        args.extend_from_slice(&domain.to_le_bytes());
+        args.extend_from_slice(&key.to_le_bytes());
+        args.extend_from_slice(&bytes);
+        ctx.send_handler(dst, b.deposit, rupcxx_util::Bytes::from(args));
+        return;
+    }
     let shared = ctx.shared().clone();
     ctx.send_task(dst, move || {
         shared.mailboxes[dst].deposit(domain, key, me, bytes);

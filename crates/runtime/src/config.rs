@@ -1,6 +1,8 @@
 //! Runtime configuration.
 
-use rupcxx_net::{AggConfig, CacheConfig, CheckConfig, FaultPlan, ScheduleConfig, SimNet};
+use rupcxx_net::{
+    AggConfig, CacheConfig, CheckConfig, ConduitSel, FaultPlan, ScheduleConfig, SimNet,
+};
 use rupcxx_trace::{ProfConfig, TraceConfig};
 
 /// Parameters for an SPMD job.
@@ -53,6 +55,13 @@ pub struct RuntimeConfig {
     /// (one untaken branch per AM, wire traffic unchanged). Mutually
     /// exclusive with `faults`.
     pub schedule: Option<ScheduleConfig>,
+    /// Transport conduit for multi-process jobs (see `rupcxx-net`'s
+    /// `conduit` module and `spmd_procs`). [`RuntimeConfig::new`] seeds
+    /// this from `RUPCXX_CONDUIT`
+    /// (`loopback|shm:PATH|tcp:HOST:BASE_PORT|uds:DIR`); override with
+    /// [`RuntimeConfig::with_conduit`]. None (or `loopback`) = ranks are
+    /// threads of this process, exactly the pre-conduit runtime.
+    pub conduit: Option<ConduitSel>,
 }
 
 impl RuntimeConfig {
@@ -70,6 +79,7 @@ impl RuntimeConfig {
             cache: CacheConfig::from_env(),
             prof: ProfConfig::from_env(),
             schedule: ScheduleConfig::from_env(),
+            conduit: ConduitSel::from_env(),
         }
     }
 
@@ -116,6 +126,13 @@ impl RuntimeConfig {
     /// `RUPCXX_SCHEDULE`).
     pub fn with_schedule(mut self, schedule: ScheduleConfig) -> Self {
         self.schedule = Some(schedule);
+        self
+    }
+
+    /// Select the transport conduit for `spmd_procs` (overriding
+    /// `RUPCXX_CONDUIT`).
+    pub fn with_conduit(mut self, conduit: ConduitSel) -> Self {
+        self.conduit = Some(conduit);
         self
     }
 

@@ -78,7 +78,11 @@ impl Ctx {
         // global order — delivery is just an inbox push); one untaken
         // branch otherwise.
         let scheduled = self.shared.fabric.pump_schedule();
-        let pumped = self.shared.fabric.pump_incoming(self.rank) + flushed + scheduled;
+        // Multi-process jobs: decode and dispatch frames the transport
+        // conduit delivered (RMA requests, wire AMs, FIN handshakes);
+        // one untaken branch on the in-process fabric.
+        let arrived = self.shared.fabric.pump_conduit(self.rank);
+        let pumped = self.shared.fabric.pump_incoming(self.rank) + flushed + scheduled + arrived;
         let ep = self.shared.fabric.endpoint(self.rank);
         if !ep.trace.enabled() {
             // Untraced fast path: identical to the pre-trace engine.
@@ -333,6 +337,16 @@ impl Ctx {
     /// from UPC and MPI, §III-C). Returns the global address.
     pub fn alloc_on(&self, rank: Rank, bytes: usize) -> Result<GlobalAddr, OutOfSegmentMemory> {
         if rank != self.rank {
+            // In a multi-process job the peer's allocator lives in the
+            // peer's address space; the local `allocators` entry is a
+            // stub whose book-keeping the owner would never see.
+            assert!(
+                !self.shared.fabric.is_remote(),
+                "alloc_on(rank {rank}) from rank {me}: remote allocation is not \
+                 supported over a transport conduit — allocate symmetrically \
+                 (every rank allocates its own segment in the same order)",
+                me = self.rank,
+            );
             // Remote allocation is mediated by the owner in the paper (an
             // AM round trip); account for that message pair.
             let stats = &self.shared.fabric.endpoint(self.rank).stats;
@@ -346,6 +360,13 @@ impl Ctx {
     /// from any rank, as in the paper's `deallocate`.
     pub fn free(&self, addr: GlobalAddr) {
         if addr.rank != self.rank {
+            assert!(
+                !self.shared.fabric.is_remote(),
+                "free on rank {} from rank {}: remote allocation is not \
+                 supported over a transport conduit",
+                addr.rank,
+                self.rank,
+            );
             let stats = &self.shared.fabric.endpoint(self.rank).stats;
             stats.ams_sent.fetch_add(2, Ordering::Relaxed);
         }
@@ -363,6 +384,16 @@ impl Ctx {
             ck.rank_completed(self.rank);
         }
         self.shared.completed.fetch_add(1, Ordering::AcqRel);
+        // In-process jobs share one `completed` counter across all rank
+        // threads; a multi-process rank must announce its completion to
+        // every peer so each process's drain loop sees all N.
+        if let Some(b) = self.shared.builtins {
+            for dst in 0..self.ranks() {
+                if dst != self.rank {
+                    self.send_handler(dst, b.complete, Bytes::new());
+                }
+            }
+        }
     }
 
     /// Serve progress until every rank has completed its SPMD closure —
@@ -384,6 +415,11 @@ impl Ctx {
         // One final drain: tasks may have been enqueued concurrently with
         // the last completion.
         self.advance();
+        // Multi-process jobs: run the conduit FIN/FIN_ACK handshake —
+        // every peer confirms it received all our data frames and we
+        // confirm theirs — then tear the transport down. No-op on the
+        // in-process fabric.
+        self.shared.fabric.conduit_teardown(self.rank);
     }
 }
 

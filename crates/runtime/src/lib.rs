@@ -27,6 +27,7 @@ pub mod ctx;
 pub mod event;
 pub mod finish;
 pub mod lock;
+pub mod proc;
 pub mod shared;
 pub mod spmd;
 pub mod team;
@@ -36,8 +37,9 @@ pub use ctx::Ctx;
 pub use event::{Event, RtFuture};
 pub use finish::FinishScope;
 pub use lock::GlobalLock;
+pub use proc::{spmd_procs, ProcOutcome};
 pub use shared::{HandlerFn, HandlerId, HandlerRegistry, Shared};
 pub use spmd::{spmd, spmd_with_handlers};
 pub use team::Team;
 
-pub use rupcxx_net::{Rank, SimNet};
+pub use rupcxx_net::{ConduitSel, Rank, SimNet};

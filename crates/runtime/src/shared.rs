@@ -2,8 +2,8 @@
 
 use crate::alloc::SegAllocator;
 use rupcxx_net::{
-    AggConfig, CacheConfig, CheckConfig, Fabric, FabricConfig, FaultPlan, Rank, ScheduleConfig,
-    SimNet,
+    AggConfig, CacheConfig, CheckConfig, Fabric, FabricConfig, FaultPlan, Rank, RemoteConfig,
+    ScheduleConfig, SimNet,
 };
 use rupcxx_trace::{ProfConfig, TraceConfig};
 use rupcxx_util::sync::Mutex;
@@ -103,6 +103,21 @@ impl Mailbox {
     }
 }
 
+/// Handler ids of the runtime's own wire-encodable AMs, registered (after
+/// every user handler, so user ids are unchanged) only when the job runs
+/// as OS processes over a transport conduit. In-process jobs ship the
+/// same operations as boxed-closure `Task` AMs, which cannot cross a
+/// process boundary; these builtins are their registered-handler twins.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Builtins {
+    /// Mailbox deposit (barrier / collectives): args = domain u64 LE +
+    /// key u64 LE + payload bytes.
+    pub(crate) deposit: HandlerId,
+    /// Closure-completion announcement (empty args): the sender's SPMD
+    /// closure returned, so bump the local completion count.
+    pub(crate) complete: HandlerId,
+}
+
 /// State shared by every rank of the job.
 pub struct Shared {
     /// The communication fabric.
@@ -125,6 +140,8 @@ pub struct Shared {
     pub reply_tokens: Vec<AtomicU64>,
     /// Ranks that have finished the user's SPMD closure.
     pub(crate) completed: AtomicUsize,
+    /// Wire-encodable runtime AM ids; present only in multi-process jobs.
+    pub(crate) builtins: Option<Builtins>,
 }
 
 impl Shared {
@@ -171,6 +188,7 @@ impl Shared {
             None,
             None,
             None,
+            None,
         )
     }
 
@@ -183,13 +201,16 @@ impl Shared {
     /// (`rupcxx-trace`'s `span` module) and an optional controlled
     /// delivery schedule (its `schedule` module); the SPMD launcher
     /// passes `RuntimeConfig::{faults, agg, check, cache, prof,
-    /// schedule}` through.
+    /// schedule}` through. When `remote` is set this process is ONE rank
+    /// of a multi-process job wired up by a transport conduit; the
+    /// runtime's wire-encodable builtin handlers are appended to the
+    /// registry (after all user handlers, so user ids are stable).
     #[allow(clippy::too_many_arguments)]
     pub fn new_full(
         ranks: usize,
         segment_bytes: usize,
         simnet: Option<SimNet>,
-        handlers: HandlerRegistry,
+        mut handlers: HandlerRegistry,
         trace: TraceConfig,
         faults: Option<FaultPlan>,
         agg: Option<AggConfig>,
@@ -197,7 +218,20 @@ impl Shared {
         cache: Option<CacheConfig>,
         prof: Option<ProfConfig>,
         schedule: Option<ScheduleConfig>,
+        remote: Option<RemoteConfig>,
     ) -> Arc<Self> {
+        let builtins = remote.is_some().then(|| {
+            let deposit = handlers.register(|ctx, src, args| {
+                assert!(args.len() >= 16, "builtin deposit: short args");
+                let domain = u64::from_le_bytes(args[..8].try_into().unwrap());
+                let key = u64::from_le_bytes(args[8..16].try_into().unwrap());
+                ctx.shared().mailboxes[ctx.rank()].deposit(domain, key, src, args[16..].to_vec());
+            });
+            let complete = handlers.register(|ctx, _src, _args| {
+                ctx.shared().completed.fetch_add(1, Ordering::AcqRel);
+            });
+            Builtins { deposit, complete }
+        });
         let fabric = Fabric::new(FabricConfig {
             ranks,
             segment_bytes,
@@ -209,6 +243,7 @@ impl Shared {
             cache,
             prof,
             schedule,
+            remote,
         });
         Arc::new(Shared {
             fabric,
@@ -221,6 +256,7 @@ impl Shared {
             pending_replies: (0..ranks).map(|_| Mutex::new(HashMap::new())).collect(),
             reply_tokens: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
             completed: AtomicUsize::new(0),
+            builtins,
         })
     }
 

@@ -53,6 +53,7 @@ where
         config.cache.clone(),
         config.prof.clone(),
         config.schedule.clone(),
+        None,
     );
     let body = &body;
     let progress_stop = std::sync::atomic::AtomicBool::new(false);
@@ -129,7 +130,7 @@ where
 /// wait-state histograms, run the critical-path analysis, print the
 /// per-rank table and headline attribution line, and write the JSON
 /// report. All ranks have joined by now, so the rings are quiescent.
-fn export_prof(config: &RuntimeConfig, shared: &Shared) {
+pub(crate) fn export_prof(config: &RuntimeConfig, shared: &Shared) {
     let Some(prof_cfg) = &config.prof else { return };
     let ranks = shared.ranks();
     let per_rank: Vec<RankProf> = (0..ranks)
@@ -175,7 +176,7 @@ fn export_prof(config: &RuntimeConfig, shared: &Shared) {
 
 /// Job-teardown checker export: write the report file (when configured)
 /// and print a one-line summary when anything was found.
-fn export_check(shared: &Shared) {
+pub(crate) fn export_check(shared: &Shared) {
     if let Some(ck) = shared.fabric.checker() {
         let n = ck.export();
         if n > 0 {
@@ -191,7 +192,7 @@ static TRACE_JOBS: AtomicU64 = AtomicU64::new(0);
 /// Job-teardown trace export: print the per-rank metrics summary and, in
 /// events mode, write the Chrome `trace_event` JSON. All ranks have
 /// joined by now, so the rings and histograms are quiescent.
-fn export_trace(config: &RuntimeConfig, shared: &Shared) {
+pub(crate) fn export_trace(config: &RuntimeConfig, shared: &Shared) {
     if !shared.fabric.endpoint(0).trace.enabled() {
         return;
     }

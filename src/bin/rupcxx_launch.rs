@@ -1,0 +1,157 @@
+//! `rupcxx-launch` — external multi-process SPMD launcher.
+//!
+//! Spawns `-n N` copies of a program, one OS process per rank, wired
+//! together by a transport conduit: each child gets `RUPCXX_PROC_RANK=r`
+//! and `RUPCXX_CONDUIT=<sel>` in its environment, which any program
+//! built on `spmd_procs` recognizes (it skips its own fork step and runs
+//! straight as rank `r`).
+//!
+//! Usage:
+//!   rupcxx-launch -n N [-c CONDUIT] [--kill-rank K --kill-after-ms T] -- prog args...
+//!
+//! `-c` defaults to the `RUPCXX_CONDUIT` environment variable. The
+//! `--kill-rank` pair is the chaos knob: SIGKILL rank K after T
+//! milliseconds, then verify the survivors die with `PeerUnreachable`
+//! instead of hanging (they are killed after a grace period otherwise,
+//! and the launcher exits non-zero either way).
+
+use rupcxx_net::{ConduitSel, CONDUIT_SYNTAX};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rupcxx-launch -n N [-c {CONDUIT_SYNTAX}] \
+         [--kill-rank K --kill-after-ms T] -- prog args..."
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    ranks: usize,
+    conduit: ConduitSel,
+    kill_rank: Option<usize>,
+    kill_after: Duration,
+    prog: Vec<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let (mut ranks, mut conduit, mut kill_rank) = (None, None, None);
+    let mut kill_after = Duration::from_millis(200);
+    let mut prog = Vec::new();
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "-n" => ranks = Some(need("-n").parse().expect("-n: not a number")),
+            "-c" => match ConduitSel::parse(&need("-c")) {
+                Ok(sel) => conduit = sel,
+                Err(e) => panic!("-c: {e}"),
+            },
+            "--kill-rank" => {
+                kill_rank = Some(
+                    need("--kill-rank")
+                        .parse()
+                        .expect("--kill-rank: not a rank"),
+                )
+            }
+            "--kill-after-ms" => {
+                kill_after = Duration::from_millis(
+                    need("--kill-after-ms")
+                        .parse()
+                        .expect("--kill-after-ms: not a number"),
+                )
+            }
+            "--" => {
+                prog = args.collect();
+                break;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(ranks) = ranks else { usage() };
+    if prog.is_empty() {
+        usage();
+    }
+    let conduit = conduit
+        .or_else(ConduitSel::from_env)
+        .unwrap_or_else(|| panic!("no conduit: pass -c or set RUPCXX_CONDUIT"));
+    Opts {
+        ranks,
+        conduit,
+        kill_rank,
+        kill_after,
+        prog,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(k) = opts.kill_rank {
+        assert!(k < opts.ranks, "--kill-rank {k} out of range");
+    }
+    let mut children = Vec::with_capacity(opts.ranks);
+    for rank in 0..opts.ranks {
+        let child = Command::new(&opts.prog[0])
+            .args(&opts.prog[1..])
+            .env("RUPCXX_PROC_RANK", rank.to_string())
+            .env("RUPCXX_CONDUIT", opts.conduit.to_string())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn rank {rank} ({}): {e}", opts.prog[0]));
+        children.push((rank, child, None));
+    }
+    let start = Instant::now();
+    let mut killed = false;
+    let mut trouble_at: Option<Instant> = None;
+    const GRACE: Duration = Duration::from_secs(30);
+    loop {
+        if let Some(k) = opts.kill_rank {
+            if !killed && start.elapsed() >= opts.kill_after {
+                eprintln!("rupcxx-launch: killing rank {k} (chaos)");
+                let _ = children[k].1.kill();
+                killed = true;
+                trouble_at = Some(Instant::now());
+            }
+        }
+        let mut running = 0;
+        for (rank, child, status) in children.iter_mut() {
+            if status.is_some() {
+                continue;
+            }
+            match child.try_wait() {
+                Ok(Some(s)) => {
+                    if !s.success() {
+                        eprintln!("rupcxx-launch: rank {rank} exited with {s}");
+                        trouble_at.get_or_insert_with(Instant::now);
+                    }
+                    *status = Some(s);
+                }
+                Ok(None) => running += 1,
+                Err(e) => panic!("wait rank {rank}: {e}"),
+            }
+        }
+        if running == 0 {
+            break;
+        }
+        if let Some(t0) = trouble_at {
+            if t0.elapsed() > GRACE {
+                for (rank, child, status) in children.iter_mut() {
+                    if status.is_none() {
+                        eprintln!("rupcxx-launch: rank {rank} hung after peer death; killing");
+                        let _ = child.kill();
+                    }
+                }
+                trouble_at = None;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let failures = children
+        .iter()
+        .filter(|(_, _, s)| !matches!(s, Some(st) if st.success()))
+        .count();
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}

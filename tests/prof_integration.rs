@@ -301,6 +301,7 @@ fn delta_since_spans_cache_and_agg_counters_and_rejects_stale_baselines() {
         cache: Some(CacheConfig::default()),
         prof: Some(ProfConfig::on()),
         schedule: None,
+        remote: None,
     });
     let hot = GlobalAddr::new(1, 0); // cached read target
     let cold = GlobalAddr::new(1, (WORDS - 1) * 8); // uncached write target

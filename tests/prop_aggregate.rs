@@ -35,6 +35,7 @@ fn fabric(agg: Option<AggConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> {
         cache: None,
         prof: None,
         schedule: None,
+        remote: None,
     })
 }
 

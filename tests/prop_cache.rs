@@ -35,6 +35,7 @@ fn fabric(cache: Option<CacheConfig>, faults: Option<FaultPlan>) -> Arc<Fabric> 
         cache,
         prof: None,
         schedule: None,
+        remote: None,
     })
 }
 

@@ -29,6 +29,7 @@ fn faulty_fabric(plan: FaultPlan) -> Arc<Fabric> {
         cache: None,
         prof: None,
         schedule: None,
+        remote: None,
     })
 }
 
