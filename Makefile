@@ -7,9 +7,9 @@ CARGO ?= cargo
 # each fully reproducible (see README "Robustness").
 CHAOS_SEEDS ?= 101 202 303
 
-.PHONY: ci fmt clippy test chaos check-race bench-smoke prof-smoke explore-smoke conduit-smoke
+.PHONY: ci fmt clippy test chaos check-race bench-smoke access-smoke prof-smoke explore-smoke conduit-smoke
 
-ci: fmt clippy test chaos check-race bench-smoke prof-smoke explore-smoke conduit-smoke
+ci: fmt clippy test chaos check-race bench-smoke access-smoke prof-smoke explore-smoke conduit-smoke
 
 fmt:
 	$(CARGO) fmt --all --check
@@ -42,6 +42,14 @@ check-race:
 bench-smoke:
 	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench aggregation
 	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench caching
+
+# The access-path gate: direct word ops, the aggregated pack path, and
+# multi-producer injection through the packed-pointer / arena-slab /
+# sharded-buffer fast paths. Fails if the aggregated pack path regresses
+# above the direct per-op path or steady-state packing starts allocating
+# (BENCH_access.json; README "Performance").
+access-smoke:
+	RUPCXX_BENCH_SMOKE=1 $(CARGO) bench -q -p rupcxx-bench --bench access
 
 # The profiler gate: profiled GUPS + stencil runs must yield a non-empty
 # critical path with >=90% of barrier wall time attributed to named wait

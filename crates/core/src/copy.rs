@@ -97,7 +97,7 @@ mod tests {
         // Rank 0 copies between rank 1 and rank 2 without owning either.
         spmd(cfg(3), |ctx| {
             let a = allocate::<u64>(ctx, ctx.rank(), 4).expect("alloc");
-            let all: Vec<u64> = ctx.allgatherv(&[a.addr().rank as u64, a.addr().offset as u64]);
+            let all: Vec<u64> = ctx.allgatherv(&[a.addr().rank() as u64, a.addr().offset() as u64]);
             let ptrs: Vec<GlobalPtr<u64>> = all
                 .chunks_exact(2)
                 .map(|c| GlobalPtr::from_addr(GlobalAddr::new(c[0] as usize, c[1] as usize)))

@@ -28,8 +28,8 @@ impl<T: Pod> Clone for GlobalPtr<T> {
 }
 impl<T: Pod> Copy for GlobalPtr<T> {}
 
-// SAFETY: a `GlobalPtr` is a `GlobalAddr` (two usize — no padding, all bit
-// patterns valid) plus a ZST marker, so it can itself live in the global
+// SAFETY: a `GlobalPtr` is a `GlobalAddr` (one packed u64 — no padding, all
+// bit patterns valid) plus a ZST marker, so it can itself live in the global
 // address space — which is what makes directory-of-pointers structures
 // (paper §III-E) expressible.
 unsafe impl<T: Pod> Pod for GlobalPtr<T> {}
@@ -47,8 +47,8 @@ impl<T: Pod> std::fmt::Debug for GlobalPtr<T> {
             f,
             "GlobalPtr<{}>(rank {}, offset {})",
             std::any::type_name::<T>(),
-            self.addr.rank,
-            self.addr.offset
+            self.addr.rank(),
+            self.addr.offset()
         )
     }
 }
@@ -56,6 +56,8 @@ impl<T: Pod> std::fmt::Debug for GlobalPtr<T> {
 impl<T: Pod> GlobalPtr<T> {
     /// Wrap a raw global address. The address must be 8-byte aligned and
     /// point at storage of (at least) `size_of::<T>()` bytes.
+    #[inline]
+    #[must_use]
     pub fn from_addr(addr: GlobalAddr) -> Self {
         GlobalPtr {
             addr,
@@ -64,31 +66,40 @@ impl<T: Pod> GlobalPtr<T> {
     }
 
     /// The underlying untyped address.
+    #[inline]
+    #[must_use]
     pub fn addr(&self) -> GlobalAddr {
         self.addr
     }
 
     /// The rank owning the referenced object — the paper's `where()`.
+    #[inline]
+    #[must_use]
     pub fn where_(&self) -> Rank {
-        self.addr.rank
+        self.addr.rank()
     }
 
     /// True when the referenced object has affinity to the calling rank.
+    #[inline]
+    #[must_use]
     pub fn is_local(&self, ctx: &Ctx) -> bool {
-        self.addr.rank == ctx.rank()
+        self.addr.rank() == ctx.rank()
     }
 
     /// Pointer arithmetic: advance by `count` elements (like `p + count`
     /// on a C++ `global_ptr` — no phase, paper §III-B).
+    #[inline]
+    #[must_use]
     pub fn offset(&self, count: usize) -> Self {
         GlobalPtr::from_addr(self.addr.add(count * std::mem::size_of::<T>()))
     }
 
     /// One-sided read of the referenced value (UPC++ rvalue use of a
     /// shared object).
+    #[must_use]
     pub fn rget(&self, ctx: &Ctx) -> T {
         let size = std::mem::size_of::<T>();
-        if size == 8 && self.addr.offset.is_multiple_of(8) {
+        if size == 8 && self.addr.offset().is_multiple_of(8) {
             // Word fast path (u64/f64/usize…).
             let w = ctx.fabric().get_u64(ctx.rank(), self.addr);
             return T::read_from(&w.to_le_bytes());
@@ -109,7 +120,7 @@ impl<T: Pod> GlobalPtr<T> {
     /// One-sided write of the referenced value (UPC++ lvalue use).
     pub fn rput(&self, ctx: &Ctx, value: T) {
         let size = std::mem::size_of::<T>();
-        if size == 8 && self.addr.offset.is_multiple_of(8) {
+        if size == 8 && self.addr.offset().is_multiple_of(8) {
             let mut w = [0u8; 8];
             value.write_to(&mut w);
             ctx.fabric()
@@ -171,6 +182,8 @@ impl<T: Pod> GlobalPtr<T> {
 
     /// Reinterpret as a pointer to another Pod type (the paper's
     /// `global_ptr<void>` casting facility).
+    #[inline]
+    #[must_use]
     pub fn cast<U: Pod>(&self) -> GlobalPtr<U> {
         GlobalPtr::from_addr(self.addr)
     }
@@ -182,10 +195,10 @@ impl<T: Pod> GlobalPtr<T> {
     /// constraints as `LocalGrid`.
     fn privatize(&self, ctx: &Ctx, count: usize) -> *mut u64 {
         assert_eq!(
-            self.addr.rank,
+            self.addr.rank(),
             ctx.rank(),
             "privatization requires local affinity (owner rank {}, calling rank {})",
-            self.addr.rank,
+            self.addr.rank(),
             ctx.rank()
         );
         assert_eq!(
@@ -196,7 +209,7 @@ impl<T: Pod> GlobalPtr<T> {
         ctx.fabric()
             .endpoint(ctx.rank())
             .segment
-            .privatize_ptr(self.addr.offset, count * 8)
+            .privatize_ptr(self.addr.offset(), count * 8)
     }
 
     /// Privatize a locally owned object: the paper's "downcast a
@@ -284,7 +297,7 @@ mod tests {
         spmd(cfg(2), |ctx| {
             let p: GlobalPtr<u64> = if ctx.rank() == 0 {
                 let p = allocate::<u64>(ctx, 1, 4).expect("alloc");
-                ctx.broadcast(0, [p.addr().rank as u64, p.addr().offset as u64]);
+                ctx.broadcast(0, [p.addr().rank() as u64, p.addr().offset() as u64]);
                 p
             } else {
                 let a = ctx.broadcast(0, [0u64; 2]);
@@ -337,9 +350,9 @@ mod tests {
     #[test]
     fn pointer_arithmetic_matches_element_size() {
         let p: GlobalPtr<u32> = GlobalPtr::from_addr(GlobalAddr::new(0, 64));
-        assert_eq!(p.offset(3).addr().offset, 64 + 12);
+        assert_eq!(p.offset(3).addr().offset(), 64 + 12);
         let q: GlobalPtr<f64> = GlobalPtr::from_addr(GlobalAddr::new(2, 0));
-        assert_eq!(q.offset(5).addr().offset, 40);
+        assert_eq!(q.offset(5).addr().offset(), 40);
         assert_eq!(q.offset(5).where_(), 2);
     }
 
@@ -374,7 +387,7 @@ mod tests {
                 for i in 0..3 {
                     p.offset(i).rput(ctx, 100);
                 }
-                ctx.broadcast(0, [p.addr().offset as u64]);
+                ctx.broadcast(0, [p.addr().offset() as u64]);
                 p
             } else {
                 let a = ctx.broadcast(0, [0u64; 1]);

@@ -40,7 +40,7 @@ impl<T: Pod> SharedArray<T> {
         let mine = ctx
             .alloc_on(ctx.rank(), local_elems.max(1) * elem.max(1))
             .expect("segment memory for SharedArray");
-        let gathered = ctx.allgatherv(&[mine.rank as u64, mine.offset as u64]);
+        let gathered = ctx.allgatherv(&[mine.rank() as u64, mine.offset() as u64]);
         let bases: Vec<GlobalAddr> = gathered
             .chunks_exact(2)
             .map(|c| GlobalAddr::new(c[0] as usize, c[1] as usize))

@@ -31,7 +31,7 @@ impl<T: Pod> SharedVar<T> {
         let ptr = if ctx.rank() == home {
             let p = allocate::<T>(ctx, home, 1).expect("segment memory for SharedVar");
             p.rput(ctx, init);
-            ctx.broadcast(home, [p.addr().rank as u64, p.addr().offset as u64]);
+            ctx.broadcast(home, [p.addr().rank() as u64, p.addr().offset() as u64]);
             p
         } else {
             let a = ctx.broadcast(home, [0u64; 2]);

@@ -170,7 +170,7 @@ fn lock_across_barrier() -> Program {
     Box::new(|ctx| {
         let lock = if ctx.rank() == 0 {
             let l = GlobalLock::new(ctx, 0);
-            ctx.broadcast(0, [l.addr().rank as u64, l.addr().offset as u64]);
+            ctx.broadcast(0, [l.addr().rank() as u64, l.addr().offset() as u64]);
             l
         } else {
             let a = ctx.broadcast(0, [0u64, 0u64]);
@@ -200,10 +200,10 @@ fn deadlock_abba() -> Program {
             ctx.broadcast(
                 0,
                 [
-                    a.addr().rank as u64,
-                    a.addr().offset as u64,
-                    b.addr().rank as u64,
-                    b.addr().offset as u64,
+                    a.addr().rank() as u64,
+                    a.addr().offset() as u64,
+                    b.addr().rank() as u64,
+                    b.addr().offset() as u64,
                 ],
             );
             (a, b)

@@ -80,7 +80,7 @@ impl<T: Pod, const N: usize> NdArray<T, N> {
 
     /// The rank owning the storage.
     pub fn owner(&self) -> Rank {
-        self.base.rank
+        self.base.rank()
     }
 
     /// True when the storage mapping has matching logical and physical
@@ -227,7 +227,7 @@ impl<T: Pod, const N: usize> std::fmt::Debug for NdArray<T, N> {
             f,
             "NdArray<{}, {N}>(rank {}, domain {})",
             std::any::type_name::<T>(),
-            self.base.rank,
+            self.base.rank(),
             self.domain
         )
     }

@@ -48,7 +48,7 @@ impl<'a, T: Pod, const N: usize> LocalGrid<'a, T, N> {
         assert_eq!(std::mem::size_of::<T>(), 8, "LocalGrid needs word elements");
         LocalGrid {
             seg: &ctx.fabric().endpoint(ctx.rank()).segment,
-            base: arr.base.offset,
+            base: arr.base.offset(),
             map_lo: arr.map_lo,
             phys: arr.phys,
             lo: arr.domain().lo(),

@@ -34,11 +34,13 @@
 //! the paper's relaxed memory model (§III-F).
 
 use crate::fabric::{AmPayload, Fabric, GlobalAddr};
+use crate::inbox::{thread_shard, INBOX_SHARDS};
 use crate::Rank;
 use rupcxx_trace::EventKind;
-use rupcxx_util::sync::Mutex;
-use rupcxx_util::Bytes;
-use std::sync::atomic::{AtomicU64, Ordering};
+use rupcxx_util::sync::SpinMutex;
+use rupcxx_util::{Bytes, SlabPool};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Aggregation thresholds (the `RUPCXX_AGG=bytes,count` knobs).
 ///
@@ -124,7 +126,15 @@ impl AggConfig {
 /// puts are not "fine-grained" and go out directly.
 pub const AGG_MAX_PUT: usize = 1024;
 
-/// One destination's coalescing buffer.
+/// Headroom reserved beyond the byte threshold so the threshold check
+/// (which runs *after* the frame is packed) never forces a slab to grow:
+/// the largest frame is a [`AGG_MAX_PUT`]-byte put plus its header.
+const AGG_SLACK: usize = AGG_MAX_PUT + 64;
+
+/// One (shard, destination) coalescing buffer. `bytes` is a slab on loan
+/// from the endpoint's [`SlabPool`], taken lazily on first use and
+/// pre-reserved to `flush_bytes + AGG_SLACK` so packing a frame is a pure
+/// `extend_from_slice` — no reallocation, ever, on the word-frame path.
 #[derive(Default)]
 struct AggBuf {
     /// Frames currently packed in `bytes`.
@@ -133,25 +143,49 @@ struct AggBuf {
     bytes: Vec<u8>,
 }
 
-/// Per-endpoint aggregation state: config + one lazy buffer per
-/// destination. Allocated only when the fabric has an [`AggConfig`]
-/// (the `Vec`s inside stay unallocated until a destination is first
-/// used).
+/// One injection shard: a buffer per destination plus a dirty flag. Each
+/// producer thread owns one shard (by thread hash), so concurrent
+/// injectors never contend on a buffer lock — which is why the buffers
+/// sit behind a [`SpinMutex`]: the lock is held for a handful of
+/// nanoseconds by (almost always) a single thread, and the uncontended
+/// spin acquire/release is about half the cost of a futex mutex round
+/// trip on the per-operation pack path.
+struct AggShard {
+    bufs: Box<[SpinMutex<AggBuf>]>,
+    /// Set when any destination of this shard may hold frames — the cheap
+    /// gate that keeps `flush_agg` in the progress engine's hot loop at
+    /// one relaxed load per shard when nothing is pending.
+    dirty: AtomicBool,
+}
+
+/// Per-endpoint aggregation state: config + per-shard, per-destination
+/// buffers + the slab pool that recycles flushed batch buffers. Allocated
+/// only when the fabric has an [`AggConfig`] (the slabs stay unallocated
+/// until a destination is first used).
 pub(crate) struct AggState {
     cfg: AggConfig,
-    bufs: Box<[Mutex<AggBuf>]>,
-    /// Total frames currently buffered across all destinations — a cheap
-    /// gate so `flush_agg` in the progress engine's hot loop is one
-    /// relaxed load when nothing is pending.
-    buffered: AtomicU64,
+    shards: Box<[AggShard]>,
+    /// Recycles batch slabs: a flushed buffer travels to the receiver as
+    /// pooled [`Bytes`] and its capacity returns here when the last
+    /// reader drops — steady state packs and ships without allocating.
+    pool: Arc<SlabPool>,
 }
 
 impl AggState {
     pub(crate) fn new(ranks: usize, cfg: AggConfig) -> Self {
         AggState {
             cfg,
-            bufs: (0..ranks).map(|_| Mutex::new(AggBuf::default())).collect(),
-            buffered: AtomicU64::new(0),
+            shards: (0..INBOX_SHARDS)
+                .map(|_| AggShard {
+                    bufs: (0..ranks)
+                        .map(|_| SpinMutex::new(AggBuf::default()))
+                        .collect(),
+                    dirty: AtomicBool::new(false),
+                })
+                .collect(),
+            // Enough idle slabs for every (shard, destination) buffer plus
+            // a margin of in-flight batches.
+            pool: SlabPool::new(INBOX_SHARDS * ranks + 8),
         }
     }
 }
@@ -174,22 +208,22 @@ pub enum Frame<'a> {
     },
     /// An atomic xor on an aligned word of the destination's segment.
     Xor {
-        /// Byte offset into the destination segment.
-        offset: usize,
+        /// Packed target address (rank = the destination itself).
+        addr: GlobalAddr,
         /// Operand.
         value: u64,
     },
     /// An atomic add on an aligned word of the destination's segment.
     Add {
-        /// Byte offset into the destination segment.
-        offset: usize,
+        /// Packed target address (rank = the destination itself).
+        addr: GlobalAddr,
         /// Operand.
         value: u64,
     },
     /// A small contiguous write into the destination's segment.
     Put {
-        /// Byte offset into the destination segment.
-        offset: usize,
+        /// Packed target address (rank = the destination itself).
+        addr: GlobalAddr,
         /// Bytes to write.
         data: &'a [u8],
     },
@@ -202,15 +236,26 @@ fn encode_handler(buf: &mut Vec<u8>, id: u16, args: &[u8]) {
     buf.extend_from_slice(args);
 }
 
-fn encode_word(buf: &mut Vec<u8>, tag: u8, offset: usize, value: u64) {
-    buf.push(tag);
-    buf.extend_from_slice(&(offset as u64).to_le_bytes());
-    buf.extend_from_slice(&value.to_le_bytes());
+// RMA frames carry the packed [`GlobalAddr`] word verbatim: the rank bits
+// double as an end-to-end integrity check (the receiver asserts the frame
+// was packed for it), and encode/decode are a single 8-byte move either
+// way.
+#[inline]
+fn encode_word(buf: &mut Vec<u8>, tag: u8, addr: GlobalAddr, value: u64) {
+    // Assemble the frame on the stack and append it with ONE
+    // `extend_from_slice`: a single length/capacity check instead of
+    // three, and the compiler lowers the copy to two unaligned 8-byte
+    // stores plus a byte.
+    let mut frame = [0u8; 17];
+    frame[0] = tag;
+    frame[1..9].copy_from_slice(&addr.packed().to_le_bytes());
+    frame[9..17].copy_from_slice(&value.to_le_bytes());
+    buf.extend_from_slice(&frame);
 }
 
-fn encode_put(buf: &mut Vec<u8>, offset: usize, data: &[u8]) {
+fn encode_put(buf: &mut Vec<u8>, addr: GlobalAddr, data: &[u8]) {
     buf.push(TAG_PUT);
-    buf.extend_from_slice(&(offset as u64).to_le_bytes());
+    buf.extend_from_slice(&addr.packed().to_le_bytes());
     buf.extend_from_slice(&(data.len() as u32).to_le_bytes());
     buf.extend_from_slice(data);
 }
@@ -262,18 +307,18 @@ impl<'a> Iterator for BatchReader<'a> {
                 }
             }
             TAG_XOR => Frame::Xor {
-                offset: self.take_u64() as usize,
+                addr: GlobalAddr::from_packed(self.take_u64()),
                 value: self.take_u64(),
             },
             TAG_ADD => Frame::Add {
-                offset: self.take_u64() as usize,
+                addr: GlobalAddr::from_packed(self.take_u64()),
                 value: self.take_u64(),
             },
             TAG_PUT => {
-                let offset = self.take_u64() as usize;
+                let addr = GlobalAddr::from_packed(self.take_u64());
                 let len = self.take_u32() as usize;
                 Frame::Put {
-                    offset,
+                    addr,
                     data: self.take(len),
                 }
             }
@@ -288,32 +333,48 @@ impl Fabric {
         self.endpoints[initiator].agg.is_some()
     }
 
-    /// Pack one frame for `dst` into the initiator's buffer, flushing it
-    /// if a threshold is crossed. Caller guarantees aggregation is on and
-    /// `dst != initiator`.
+    /// Pack one frame for `dst` into the calling thread's shard buffer,
+    /// flushing it if a threshold is crossed. Caller guarantees
+    /// aggregation is on and `dst != initiator`.
+    ///
+    /// Hot-path cost: one uncontended shard-buffer lock, the
+    /// `extend_from_slice` of the frame, and (rarely) a dirty-flag store —
+    /// per-op stats are accounted at flush time, batched per batch.
     fn agg_push(&self, initiator: Rank, dst: Rank, encode: impl FnOnce(&mut Vec<u8>)) {
         let ep = &self.endpoints[initiator];
         let agg = ep.agg.as_ref().expect("agg_push without aggregation");
+        let shard = &agg.shards[thread_shard()];
         let flush = {
-            let mut buf = agg.bufs[dst].lock();
+            let mut buf = shard.bufs[dst].lock();
+            if buf.bytes.capacity() == 0 {
+                buf.bytes = agg.pool.take(agg.cfg.flush_bytes + AGG_SLACK);
+            }
             encode(&mut buf.bytes);
             buf.count += 1;
+            if buf.count == 1 {
+                shard.dirty.store(true, Ordering::Release);
+            }
             buf.count as usize >= agg.cfg.flush_count || buf.bytes.len() >= agg.cfg.flush_bytes
         };
-        agg.buffered.fetch_add(1, Ordering::Relaxed);
-        ep.stats.agg_ops.fetch_add(1, Ordering::Relaxed);
         if flush {
-            self.flush_agg_to(initiator, dst);
+            // Threshold crossings flush only this thread's shard; other
+            // injectors' partial buffers keep filling toward their own
+            // thresholds. (The ordering flush in `send_am` sweeps every
+            // shard via `flush_agg_to`.)
+            self.flush_agg_shard_to(initiator, shard, dst);
         }
     }
 
-    /// Flush the initiator's buffer for one destination as a single
-    /// [`AmPayload::Batch`]. Returns whether anything was sent.
-    pub fn flush_agg_to(&self, initiator: Rank, dst: Rank) -> bool {
+    /// Flush one (shard, destination) buffer as a single
+    /// [`AmPayload::Batch`]. The slab leaves as pooled [`Bytes`] — no
+    /// copy, no shrink — and its capacity returns to the pool when the
+    /// last reader (receiver, or the reliable layer's retransmit copy)
+    /// drops. Returns whether anything was sent.
+    fn flush_agg_shard_to(&self, initiator: Rank, shard: &AggShard, dst: Rank) -> bool {
         let ep = &self.endpoints[initiator];
-        let Some(agg) = &ep.agg else { return false };
+        let agg = ep.agg.as_ref().expect("flush without aggregation");
         let (count, bytes) = {
-            let mut buf = agg.bufs[dst].lock();
+            let mut buf = shard.bufs[dst].lock();
             if buf.count == 0 {
                 return false;
             }
@@ -322,7 +383,7 @@ impl Fabric {
                 std::mem::take(&mut buf.bytes),
             )
         };
-        agg.buffered.fetch_sub(count as u64, Ordering::Relaxed);
+        ep.stats.agg_ops.fetch_add(count as u64, Ordering::Relaxed);
         ep.stats.agg_batches.fetch_add(1, Ordering::Relaxed);
         ep.trace
             .instant(EventKind::BatchFlush, dst as i32, count as u64);
@@ -331,24 +392,48 @@ impl Fabric {
             dst,
             AmPayload::Batch {
                 count,
-                frames: Bytes::from(bytes),
+                frames: Bytes::pooled(bytes, &agg.pool),
             },
         );
         true
     }
 
+    /// Flush the initiator's buffers for one destination (all shards, in
+    /// shard order) as [`AmPayload::Batch`] messages. Returns whether
+    /// anything was sent.
+    pub fn flush_agg_to(&self, initiator: Rank, dst: Rank) -> bool {
+        let ep = &self.endpoints[initiator];
+        let Some(agg) = &ep.agg else { return false };
+        let mut sent = false;
+        for shard in agg.shards.iter() {
+            sent |= self.flush_agg_shard_to(initiator, shard, dst);
+        }
+        sent
+    }
+
     /// Force-flush every destination buffer of `initiator`; returns the
     /// number of batches sent. With aggregation off — or nothing buffered
-    /// — this is one branch (plus one relaxed load).
+    /// — this is one branch plus one relaxed load per shard.
     pub fn flush_agg(&self, initiator: Rank) -> usize {
         let ep = &self.endpoints[initiator];
         let Some(agg) = &ep.agg else { return 0 };
-        if agg.buffered.load(Ordering::Relaxed) == 0 {
+        if !agg.shards.iter().any(|s| s.dirty.load(Ordering::Acquire)) {
             return 0;
         }
-        (0..self.endpoints.len())
-            .filter(|&dst| self.flush_agg_to(initiator, dst))
-            .count()
+        // Clear the flags before sweeping: a racing push re-marks its
+        // shard and is picked up by the next advance() at the latest.
+        for shard in agg.shards.iter() {
+            shard.dirty.store(false, Ordering::Release);
+        }
+        let mut batches = 0;
+        for dst in 0..self.endpoints.len() {
+            for shard in agg.shards.iter() {
+                if self.flush_agg_shard_to(initiator, shard, dst) {
+                    batches += 1;
+                }
+            }
+        }
+        batches
     }
 
     /// Buffered registered-handler RPC: packed as a frame when
@@ -372,10 +457,10 @@ impl Fabric {
     /// Buffered remote xor (no fetched result — the update is applied by
     /// the destination's progress engine at delivery).
     pub fn xor_u64_buffered(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
-        if self.endpoints[initiator].agg.is_some() && dst.rank != initiator {
+        if self.endpoints[initiator].agg.is_some() && dst.rank() != initiator {
             self.invalidate_own(initiator, dst, 8);
-            self.agg_push(initiator, dst.rank, |b| {
-                encode_word(b, TAG_XOR, dst.offset, value)
+            self.agg_push(initiator, dst.rank(), |b| {
+                encode_word(b, TAG_XOR, dst, value)
             });
         } else {
             let _ = self.xor_u64(initiator, dst, value);
@@ -384,10 +469,10 @@ impl Fabric {
 
     /// Buffered remote add (no fetched result).
     pub fn add_u64_buffered(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
-        if self.endpoints[initiator].agg.is_some() && dst.rank != initiator {
+        if self.endpoints[initiator].agg.is_some() && dst.rank() != initiator {
             self.invalidate_own(initiator, dst, 8);
-            self.agg_push(initiator, dst.rank, |b| {
-                encode_word(b, TAG_ADD, dst.offset, value)
+            self.agg_push(initiator, dst.rank(), |b| {
+                encode_word(b, TAG_ADD, dst, value)
             });
         } else {
             let _ = self.add_u64(initiator, dst, value);
@@ -398,11 +483,11 @@ impl Fabric {
     /// / unaggregated ones) go out as a direct one-sided put.
     pub fn put_buffered(&self, initiator: Rank, dst: GlobalAddr, data: &[u8]) {
         if self.endpoints[initiator].agg.is_some()
-            && dst.rank != initiator
+            && dst.rank() != initiator
             && data.len() <= AGG_MAX_PUT
         {
             self.invalidate_own(initiator, dst, data.len());
-            self.agg_push(initiator, dst.rank, |b| encode_put(b, dst.offset, data));
+            self.agg_push(initiator, dst.rank(), |b| encode_put(b, dst, data));
         } else {
             self.put(initiator, dst, data);
         }
@@ -426,33 +511,33 @@ impl Fabric {
     ) -> bool {
         if let (Some(ck), Some(stamp)) = (&self.check, clock) {
             match frame {
-                Frame::Xor { offset, .. } => {
+                Frame::Xor { addr, .. } => {
                     ck.frame_access(
                         src,
                         me,
-                        *offset,
+                        addr.offset(),
                         8,
                         rupcxx_check::AccessKind::Atomic,
                         stamp,
                         "agg-xor",
                     );
                 }
-                Frame::Add { offset, .. } => {
+                Frame::Add { addr, .. } => {
                     ck.frame_access(
                         src,
                         me,
-                        *offset,
+                        addr.offset(),
                         8,
                         rupcxx_check::AccessKind::Atomic,
                         stamp,
                         "agg-add",
                     );
                 }
-                Frame::Put { offset, data } => {
+                Frame::Put { addr, data } => {
                     ck.frame_access(
                         src,
                         me,
-                        *offset,
+                        addr.offset(),
                         data.len(),
                         rupcxx_check::AccessKind::Write,
                         stamp,
@@ -462,16 +547,21 @@ impl Fabric {
                 Frame::Handler { .. } => {}
             }
         }
+        // The packed rank bits assert end-to-end that the frame was packed
+        // for this rank's segment.
+        if let Frame::Xor { addr, .. } | Frame::Add { addr, .. } | Frame::Put { addr, .. } = frame {
+            debug_assert_eq!(addr.rank(), me, "batch frame addressed to the wrong rank");
+        }
         let seg = &self.endpoints[me].segment;
         match frame {
-            Frame::Xor { offset, value } => {
-                seg.fetch_xor_u64(*offset, *value);
+            Frame::Xor { addr, value } => {
+                seg.fetch_xor_u64(addr.offset(), *value);
             }
-            Frame::Add { offset, value } => {
-                seg.fetch_add_u64(*offset, *value);
+            Frame::Add { addr, value } => {
+                seg.fetch_add_u64(addr.offset(), *value);
             }
-            Frame::Put { offset, data } => {
-                seg.write_bytes(*offset, data);
+            Frame::Put { addr, data } => {
+                seg.write_bytes(addr.offset(), data);
             }
             Frame::Handler { .. } => return false,
         }
@@ -557,9 +647,9 @@ mod tests {
     fn frames_round_trip_in_order() {
         let mut buf = Vec::new();
         encode_handler(&mut buf, 7, &[1, 2, 3]);
-        encode_word(&mut buf, TAG_XOR, 40, 0xDEAD);
-        encode_word(&mut buf, TAG_ADD, 48, 5);
-        encode_put(&mut buf, 64, &[9; 16]);
+        encode_word(&mut buf, TAG_XOR, GlobalAddr::new(1, 40), 0xDEAD);
+        encode_word(&mut buf, TAG_ADD, GlobalAddr::new(1, 48), 5);
+        encode_put(&mut buf, GlobalAddr::new(1, 64), &[9; 16]);
         encode_handler(&mut buf, 8, &[]);
         let got: Vec<Frame<'_>> = BatchReader::new(&buf).collect();
         assert_eq!(
@@ -570,15 +660,15 @@ mod tests {
                     args: &[1, 2, 3]
                 },
                 Frame::Xor {
-                    offset: 40,
+                    addr: GlobalAddr::new(1, 40),
                     value: 0xDEAD
                 },
                 Frame::Add {
-                    offset: 48,
+                    addr: GlobalAddr::new(1, 48),
                     value: 5
                 },
                 Frame::Put {
-                    offset: 64,
+                    addr: GlobalAddr::new(1, 64),
                     data: &[9; 16]
                 },
                 Frame::Handler { id: 8, args: &[] },

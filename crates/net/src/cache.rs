@@ -23,6 +23,7 @@
 //! untaken branch per get and nothing else — the same zero-cost pattern
 //! as aggregation, fault injection and the checker.
 
+use crate::fabric::GlobalAddr;
 use rupcxx_check::Stamp;
 use rupcxx_util::sync::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -108,12 +109,13 @@ impl CacheConfig {
     }
 }
 
-/// One cached line: `data.len()` bytes of rank `rank`'s segment starting
-/// at `base` (always line-aligned; shorter than a full line only at the
-/// end of the segment).
+/// One cached line: `data.len()` bytes of the owning rank's segment
+/// starting at the line-aligned base `addr` (shorter than a full line only
+/// at the end of the segment). The key is the packed `rank:offset` word,
+/// so the tag compare on a lookup is a single 64-bit equality instead of
+/// two field compares.
 struct Line {
-    rank: usize,
-    base: usize,
+    addr: GlobalAddr,
     data: Box<[u8]>,
     /// The filling get's happens-before snapshot, kept only when the
     /// race checker was on at fill time; cached hits replay it so the
@@ -171,30 +173,46 @@ impl CacheState {
 
     /// The line-aligned base of the line containing `offset`.
     #[inline]
+    #[must_use]
     pub fn line_base(&self, offset: usize) -> usize {
         offset & !(self.cfg.line_bytes - 1)
     }
 
+    /// The line-aligned base address of the line containing `addr` — one
+    /// mask on the packed word (line sizes are powers of two smaller than
+    /// the offset field, so the mask never touches the rank bits).
     #[inline]
-    fn slot_of(&self, rank: usize, base: usize) -> usize {
-        let h =
-            ((base >> self.line_shift) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ rank as u64;
-        (h % self.nslots as u64) as usize
+    #[must_use]
+    pub fn line_base_addr(&self, addr: GlobalAddr) -> GlobalAddr {
+        GlobalAddr::from_packed(addr.packed() & !(self.cfg.line_bytes as u64 - 1))
     }
 
-    /// Look up `len = out.len()` bytes of rank `rank`'s segment starting
-    /// at `offset`; the span must not cross a line boundary. On a hit the
-    /// bytes are copied into `out` and the line's fill stamp (if any) is
+    /// Slot index for a line-aligned base address: xor-fold the packed
+    /// `rank:offset` word (a multiply only propagates input bits *upward*,
+    /// so the rank field in the high bits must first be folded down to
+    /// reach every slot bit), then one Fibonacci multiply, high half into
+    /// the modulo. Shifting out the (zero) low line bits keeps consecutive
+    /// lines in distinct slots.
+    #[inline]
+    fn slot_of(&self, base: GlobalAddr) -> usize {
+        let x = base.packed() >> self.line_shift;
+        let h = (x ^ (x >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) % self.nslots as u64) as usize
+    }
+
+    /// Look up `out.len()` bytes of the global address space starting at
+    /// `addr`; the span must not cross a line boundary. On a hit the bytes
+    /// are copied into `out` and the line's fill stamp (if any) is
     /// returned; `None` is a miss.
-    pub fn lookup(&self, rank: usize, offset: usize, out: &mut [u8]) -> Option<Option<Stamp>> {
-        let base = self.line_base(offset);
-        debug_assert!(offset + out.len() <= base + self.cfg.line_bytes);
+    pub fn lookup(&self, addr: GlobalAddr, out: &mut [u8]) -> Option<Option<Stamp>> {
+        let base = self.line_base_addr(addr);
+        debug_assert!(addr.offset() + out.len() <= base.offset() + self.cfg.line_bytes);
         let inner = self.inner.lock();
-        let line = inner.slots[self.slot_of(rank, base)].as_ref()?;
-        if line.rank != rank || line.base != base {
+        let line = inner.slots[self.slot_of(base)].as_ref()?;
+        if line.addr != base {
             return None;
         }
-        let start = offset - base;
+        let start = addr.offset() - base.offset();
         if start + out.len() > line.data.len() {
             return None;
         }
@@ -205,27 +223,26 @@ impl CacheState {
     /// Install a freshly fetched line (replacing any conflicting line in
     /// its slot). `base` must be line-aligned; `data` is the whole line
     /// (possibly short at the segment end).
-    pub fn insert(&self, rank: usize, base: usize, data: Box<[u8]>, fill: Option<Stamp>) {
-        debug_assert_eq!(base, self.line_base(base));
+    pub fn insert(&self, base: GlobalAddr, data: Box<[u8]>, fill: Option<Stamp>) {
+        debug_assert_eq!(base, self.line_base_addr(base));
         debug_assert!(data.len() <= self.cfg.line_bytes);
-        let slot = self.slot_of(rank, base);
+        let slot = self.slot_of(base);
         let mut inner = self.inner.lock();
         if inner.slots[slot].is_none() {
             inner.occupied += 1;
         }
         inner.slots[slot] = Some(Line {
-            rank,
-            base,
+            addr: base,
             data,
             fill,
         });
     }
 
-    /// Drop every cached line of rank `rank` overlapping
-    /// `[offset, offset+len)`; returns how many lines were removed. Used
-    /// by the write-through path — invalidating a covering span is always
-    /// safe (a dropped line only costs a refill).
-    pub fn invalidate_span(&self, rank: usize, offset: usize, len: usize) -> u64 {
+    /// Drop every cached line overlapping `[addr, addr+len)`; returns how
+    /// many lines were removed. Used by the write-through path —
+    /// invalidating a covering span is always safe (a dropped line only
+    /// costs a refill).
+    pub fn invalidate_span(&self, addr: GlobalAddr, len: usize) -> u64 {
         if len == 0 {
             return 0;
         }
@@ -233,14 +250,14 @@ impl CacheState {
         if inner.occupied == 0 {
             return 0;
         }
-        let first = self.line_base(offset);
-        let last = self.line_base(offset + len - 1);
+        let first = self.line_base_addr(addr);
+        let last = self.line_base_addr(addr.add(len - 1));
         let mut removed = 0;
         let mut base = first;
         loop {
-            let slot = self.slot_of(rank, base);
+            let slot = self.slot_of(base);
             if let Some(line) = &inner.slots[slot] {
-                if line.rank == rank && line.base == base {
+                if line.addr == base {
                     inner.slots[slot] = None;
                     inner.occupied -= 1;
                     removed += 1;
@@ -249,7 +266,7 @@ impl CacheState {
             if base == last {
                 break;
             }
-            base += self.cfg.line_bytes;
+            base = base.add(self.cfg.line_bytes);
         }
         removed
     }
@@ -303,6 +320,10 @@ impl std::fmt::Debug for CacheState {
 mod tests {
     use super::*;
 
+    fn ga(rank: usize, offset: usize) -> GlobalAddr {
+        GlobalAddr::new(rank, offset)
+    }
+
     fn cache(capacity: usize, line: usize) -> CacheState {
         CacheState::new(CacheConfig {
             capacity_bytes: capacity,
@@ -333,29 +354,32 @@ mod tests {
     fn miss_fill_hit_roundtrip() {
         let c = cache(1024, 64);
         let mut out = [0u8; 8];
-        assert!(c.lookup(1, 64, &mut out).is_none(), "cold cache misses");
+        assert!(c.lookup(ga(1, 64), &mut out).is_none(), "cold cache misses");
         let data: Box<[u8]> = (0..64u8).collect();
-        c.insert(1, 64, data, None);
-        assert!(c.lookup(1, 64, &mut out).is_some());
+        c.insert(ga(1, 64), data, None);
+        assert!(c.lookup(ga(1, 64), &mut out).is_some());
         assert_eq!(out, [0, 1, 2, 3, 4, 5, 6, 7]);
         assert!(
-            c.lookup(1, 100, &mut out).is_some(),
+            c.lookup(ga(1, 100), &mut out).is_some(),
             "same line, later span"
         );
         assert_eq!(out, [36, 37, 38, 39, 40, 41, 42, 43]);
-        assert!(c.lookup(2, 64, &mut out).is_none(), "other rank misses");
-        assert!(c.lookup(1, 128, &mut out).is_none(), "other line misses");
+        assert!(c.lookup(ga(2, 64), &mut out).is_none(), "other rank misses");
+        assert!(
+            c.lookup(ga(1, 128), &mut out).is_none(),
+            "other line misses"
+        );
     }
 
     #[test]
     fn short_line_at_segment_end_bounds_hits() {
         let c = cache(1024, 64);
         // Segment ends mid-line: only 16 bytes of the line exist.
-        c.insert(0, 64, vec![7u8; 16].into_boxed_slice(), None);
+        c.insert(ga(0, 64), vec![7u8; 16].into_boxed_slice(), None);
         let mut out = [0u8; 8];
-        assert!(c.lookup(0, 64, &mut out).is_some());
+        assert!(c.lookup(ga(0, 64), &mut out).is_some());
         assert!(
-            c.lookup(0, 80, &mut out).is_none(),
+            c.lookup(ga(0, 80), &mut out).is_none(),
             "span past the short line's data misses"
         );
     }
@@ -363,67 +387,80 @@ mod tests {
     #[test]
     fn invalidate_span_drops_covered_lines_only() {
         let c = cache(4096, 64);
-        c.insert(0, 0, vec![1; 64].into_boxed_slice(), None);
-        c.insert(0, 64, vec![2; 64].into_boxed_slice(), None);
-        c.insert(0, 128, vec![3; 64].into_boxed_slice(), None);
-        c.insert(1, 64, vec![4; 64].into_boxed_slice(), None);
+        c.insert(ga(0, 0), vec![1; 64].into_boxed_slice(), None);
+        c.insert(ga(0, 64), vec![2; 64].into_boxed_slice(), None);
+        c.insert(ga(0, 128), vec![3; 64].into_boxed_slice(), None);
+        c.insert(ga(1, 64), vec![4; 64].into_boxed_slice(), None);
         // A write covering [60, 70) touches lines 0 and 64 of rank 0.
-        assert_eq!(c.invalidate_span(0, 60, 10), 2);
+        assert_eq!(c.invalidate_span(ga(0, 60), 10), 2);
         let mut out = [0u8; 8];
-        assert!(c.lookup(0, 0, &mut out).is_none());
-        assert!(c.lookup(0, 64, &mut out).is_none());
-        assert!(c.lookup(0, 128, &mut out).is_some(), "uncovered line stays");
+        assert!(c.lookup(ga(0, 0), &mut out).is_none());
+        assert!(c.lookup(ga(0, 64), &mut out).is_none());
         assert!(
-            c.lookup(1, 64, &mut out).is_some(),
+            c.lookup(ga(0, 128), &mut out).is_some(),
+            "uncovered line stays"
+        );
+        assert!(
+            c.lookup(ga(1, 64), &mut out).is_some(),
             "other rank's line stays"
         );
-        assert_eq!(c.invalidate_span(0, 60, 10), 0, "already gone");
-        assert_eq!(c.invalidate_span(0, 0, 0), 0, "empty span");
+        assert_eq!(c.invalidate_span(ga(0, 60), 10), 0, "already gone");
+        assert_eq!(c.invalidate_span(ga(0, 0), 0), 0, "empty span");
     }
 
     #[test]
     fn invalidate_all_counts_and_empties() {
         let c = cache(1024, 64);
         assert_eq!(c.invalidate_all(), 0);
-        c.insert(0, 0, vec![0; 64].into_boxed_slice(), None);
-        c.insert(1, 64, vec![0; 64].into_boxed_slice(), None);
+        c.insert(ga(0, 0), vec![0; 64].into_boxed_slice(), None);
+        c.insert(ga(1, 64), vec![0; 64].into_boxed_slice(), None);
         assert_eq!(c.invalidate_all(), 2);
         let mut out = [0u8; 8];
-        assert!(c.lookup(0, 0, &mut out).is_none());
+        assert!(c.lookup(ga(0, 0), &mut out).is_none());
         assert_eq!(c.invalidate_all(), 0);
     }
 
     #[test]
     fn sync_invalidation_respects_bypass_knob() {
         let c = cache(1024, 64);
-        c.insert(0, 0, vec![9; 64].into_boxed_slice(), None);
+        c.insert(ga(0, 0), vec![9; 64].into_boxed_slice(), None);
         c.set_bypass_sync_invalidation(true);
         assert_eq!(c.invalidate_sync(), 0, "bypassed");
         let mut out = [0u8; 8];
-        assert!(c.lookup(0, 0, &mut out).is_some(), "stale line survives");
+        assert!(
+            c.lookup(ga(0, 0), &mut out).is_some(),
+            "stale line survives"
+        );
         c.set_bypass_sync_invalidation(false);
         assert_eq!(c.invalidate_sync(), 1);
-        assert!(c.lookup(0, 0, &mut out).is_none());
+        assert!(c.lookup(ga(0, 0), &mut out).is_none());
     }
 
     #[test]
     fn conflicting_lines_evict() {
         // One slot: every line maps to it.
         let c = cache(64, 64);
-        c.insert(0, 0, vec![1; 64].into_boxed_slice(), None);
-        c.insert(0, 4096, vec![2; 64].into_boxed_slice(), None);
+        c.insert(ga(0, 0), vec![1; 64].into_boxed_slice(), None);
+        c.insert(ga(0, 4096), vec![2; 64].into_boxed_slice(), None);
         let mut out = [0u8; 8];
-        assert!(c.lookup(0, 4096, &mut out).is_some());
-        assert!(c.lookup(0, 0, &mut out).is_none(), "evicted by conflict");
+        assert!(c.lookup(ga(0, 4096), &mut out).is_some());
+        assert!(
+            c.lookup(ga(0, 0), &mut out).is_none(),
+            "evicted by conflict"
+        );
     }
 
     #[test]
     fn fill_stamp_round_trips() {
         let c = cache(1024, 64);
         let stamp = Stamp(vec![3, 1].into_boxed_slice());
-        c.insert(0, 0, vec![0; 64].into_boxed_slice(), Some(stamp.clone()));
+        c.insert(
+            ga(0, 0),
+            vec![0; 64].into_boxed_slice(),
+            Some(stamp.clone()),
+        );
         let mut out = [0u8; 8];
-        let got = c.lookup(0, 0, &mut out).expect("hit");
+        let got = c.lookup(ga(0, 0), &mut out).expect("hit");
         assert_eq!(got, Some(stamp));
     }
 }

@@ -15,6 +15,7 @@ use crate::cache::{CacheConfig, CacheState};
 use crate::conduit::wire::RmwOp;
 use crate::conduit::RemoteConfig;
 use crate::faults::FaultPlan;
+use crate::inbox::ShardedInbox;
 use crate::reliable::{AmChannel, PeerUnreachable};
 use crate::remote::RemoteFabric;
 use crate::schedule::{SchedState, ScheduleConfig};
@@ -23,36 +24,110 @@ use crate::stats::{CommCounts, CommStats};
 use crate::Rank;
 use rupcxx_check::{AccessKind, CheckConfig, Checker, Stamp};
 use rupcxx_trace::{EventKind, ProfConfig, ProfKind, ProfSpan, ProfState, RankTrace, TraceConfig};
-use rupcxx_util::sync::{Mutex, SegQueue};
+use rupcxx_util::sync::Mutex;
 use rupcxx_util::Bytes;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// An address in the global address space: a rank plus a byte offset into
-/// that rank's segment. `rupcxx::GlobalPtr<T>` wraps this with a type.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct GlobalAddr {
-    /// Owning rank.
-    pub rank: Rank,
-    /// Byte offset into the owning rank's segment.
-    pub offset: usize,
-}
+/// that rank's segment, packed into one 64-bit word — rank in the high
+/// [`GlobalAddr::RANK_BITS`], offset in the low [`GlobalAddr::OFFSET_BITS`]
+/// (the hardware-address-mapping layout: owner extraction is one shift,
+/// offset extraction one mask, no branches). `rupcxx::GlobalPtr<T>` wraps
+/// this with a type.
+///
+/// Capacity limits of the packing: at most [`GlobalAddr::MAX_RANKS`] ranks
+/// (65 536) and segments up to [`GlobalAddr::MAX_OFFSET`] bytes
+/// (256 TiB − 1), both debug-checked at construction. The derived `Ord` on
+/// the packed word is identical to the old two-field struct's
+/// rank-then-offset lexicographic order because rank occupies the high
+/// bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalAddr(u64);
 
 impl GlobalAddr {
-    /// Construct an address.
+    /// Bits reserved for the owning rank (high bits of the word).
+    pub const RANK_BITS: u32 = 16;
+    /// Bits reserved for the byte offset (low bits of the word).
+    pub const OFFSET_BITS: u32 = 64 - Self::RANK_BITS;
+    /// Exclusive upper bound on rank ids representable in the packing.
+    pub const MAX_RANKS: usize = 1 << Self::RANK_BITS;
+    /// Inclusive upper bound on byte offsets (256 TiB − 1).
+    pub const MAX_OFFSET: usize = (1 << Self::OFFSET_BITS) - 1;
+
+    /// Construct an address. Debug-asserts that `rank` and `offset` fit
+    /// the bitfield; release builds truncate neither (the packing is a
+    /// plain shift-or, so out-of-range inputs would corrupt the word —
+    /// keep ranks under [`Self::MAX_RANKS`] and segments under
+    /// [`Self::MAX_OFFSET`]).
+    #[inline]
+    #[must_use]
     pub fn new(rank: Rank, offset: usize) -> Self {
-        GlobalAddr { rank, offset }
+        debug_assert!(
+            rank < Self::MAX_RANKS,
+            "rank {rank} exceeds the {}-bit rank field",
+            Self::RANK_BITS
+        );
+        debug_assert!(
+            offset <= Self::MAX_OFFSET,
+            "offset {offset} exceeds the {}-bit offset field",
+            Self::OFFSET_BITS
+        );
+        GlobalAddr(((rank as u64) << Self::OFFSET_BITS) | offset as u64)
     }
 
-    /// Address advanced by `bytes`.
+    /// The owning rank (branch-free: one shift).
+    #[inline]
+    #[must_use]
+    pub fn rank(self) -> Rank {
+        (self.0 >> Self::OFFSET_BITS) as Rank
+    }
+
+    /// Byte offset into the owning rank's segment (branch-free: one mask).
+    #[inline]
+    #[must_use]
+    pub fn offset(self) -> usize {
+        (self.0 & Self::MAX_OFFSET as u64) as usize
+    }
+
+    /// The raw packed word (for wire frames and hash keys).
+    #[inline]
+    #[must_use]
+    pub fn packed(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstruct from a packed word produced by [`Self::packed`].
+    #[inline]
+    #[must_use]
+    pub fn from_packed(word: u64) -> Self {
+        GlobalAddr(word)
+    }
+
+    /// Address advanced by `bytes`. Debug-asserts the result stays inside
+    /// the offset field instead of silently wrapping into the rank bits.
     // Deliberately named like pointer arithmetic; not an `Add` impl
     // because the operand is a byte count, not another address.
     #[allow(clippy::should_implement_trait)]
+    #[inline]
+    #[must_use]
     pub fn add(self, bytes: usize) -> Self {
-        GlobalAddr {
-            rank: self.rank,
-            offset: self.offset + bytes,
-        }
+        debug_assert!(
+            self.offset() + bytes <= Self::MAX_OFFSET,
+            "offset {} + {bytes} overflows the {}-bit offset field",
+            self.offset(),
+            Self::OFFSET_BITS
+        );
+        GlobalAddr(self.0 + bytes as u64)
+    }
+}
+
+impl std::fmt::Debug for GlobalAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalAddr")
+            .field("rank", &self.rank())
+            .field("offset", &self.offset())
+            .finish()
     }
 }
 
@@ -125,7 +200,7 @@ pub struct AmMessage {
 pub struct Endpoint {
     /// This rank's globally addressable memory.
     pub segment: Segment,
-    pub(crate) inbox: SegQueue<AmMessage>,
+    pub(crate) inbox: ShardedInbox<AmMessage>,
     /// Traffic counters for operations initiated by this rank.
     pub stats: CommStats,
     /// Structured tracing + metrics for this rank (off by default).
@@ -142,6 +217,12 @@ pub struct Endpoint {
     /// Causal profiler state for this rank; allocated only when the
     /// fabric has a [`ProfConfig`] (`RUPCXX_PROF`).
     pub prof: Option<ProfState>,
+    /// Precomputed at construction: every feature that could touch a
+    /// word-RMA issued by this rank (simnet, faults, checker, conduit,
+    /// trace, read cache) is off, so `put_u64`/`get_u64`/atomics take the
+    /// branch-collapsed fast path — one flag load instead of six
+    /// scattered `Option` probes.
+    pub(crate) rma_fast: bool,
 }
 
 impl Endpoint {
@@ -155,6 +236,7 @@ impl Endpoint {
         agg: Option<&AggConfig>,
         cache: Option<&CacheConfig>,
         prof: Option<&ProfConfig>,
+        rma_fast: bool,
     ) -> Self {
         let stats = CommStats::default();
         if prof.is_some() {
@@ -162,13 +244,14 @@ impl Endpoint {
         }
         Endpoint {
             segment: Segment::new(segment_bytes),
-            inbox: SegQueue::new(),
+            inbox: ShardedInbox::new(),
             stats,
             trace: RankTrace::new(trace),
             reliable: faulty.then(|| AmChannel::new(ranks)),
             agg: agg.map(|cfg| AggState::new(ranks, cfg.clone())),
             cache: cache.map(|cfg| CacheState::new(cfg.clone())),
             prof: prof.map(|cfg| ProfState::new(rank, cfg)),
+            rma_fast,
         }
     }
 
@@ -388,6 +471,14 @@ impl Fabric {
                     Some(rc) if rank != rc.my_rank => 0,
                     _ => config.segment_bytes,
                 };
+                // Word-RMA fast path: legal only when nothing can observe
+                // or reroute the access (see `Endpoint::rma_fast`).
+                let rma_fast = config.simnet.is_none()
+                    && faults.is_none()
+                    && config.check.is_none()
+                    && config.remote.is_none()
+                    && !config.trace.is_enabled()
+                    && config.cache.is_none();
                 Endpoint::new(
                     rank,
                     config.ranks,
@@ -397,6 +488,7 @@ impl Fabric {
                     config.agg.as_ref(),
                     config.cache.as_ref(),
                     config.prof.as_ref(),
+                    rma_fast,
                 )
             })
             .collect();
@@ -496,6 +588,26 @@ impl Fabric {
         }
     }
 
+    /// Stats-only accounting for the `rma_fast` word path: exactly the
+    /// counters [`Fabric::count_put`]/[`Fabric::count_get`] would bump
+    /// with every feature off, with no gate probes.
+    #[inline]
+    fn count_word_fast(&self, initiator: Rank, target: Rank, put: bool) {
+        let stats = &self.endpoints[initiator].stats;
+        if initiator == target {
+            stats.local_ops.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let (ops, bytes) = if put {
+                (&stats.puts, &stats.put_bytes)
+            } else {
+                (&stats.gets, &stats.get_bytes)
+            };
+            ops.fetch_add(1, Ordering::Relaxed);
+            bytes.fetch_add(8, Ordering::Relaxed);
+            stats.count_dest(target, 8);
+        }
+    }
+
     #[inline]
     fn count_put(&self, initiator: Rank, target: Rank, bytes: usize) {
         self.rma_gate(initiator, target, bytes);
@@ -529,8 +641,8 @@ impl Fabric {
     #[inline]
     pub(crate) fn invalidate_own(&self, initiator: Rank, dst: GlobalAddr, len: usize) {
         if let Some(cache) = &self.endpoints[initiator].cache {
-            if dst.rank != initiator {
-                let n = cache.invalidate_span(dst.rank, dst.offset, len);
+            if dst.rank() != initiator {
+                let n = cache.invalidate_span(dst, len);
                 if n != 0 {
                     self.endpoints[initiator]
                         .stats
@@ -570,9 +682,9 @@ impl Fabric {
         op: &'static str,
     ) -> u64 {
         let t0 = self.trace_start(initiator);
-        self.check_access(initiator, dst.rank, dst.offset, len, kind, op);
-        self.count_put(initiator, dst.rank, len);
-        self.wire(initiator, dst.rank, len);
+        self.check_access(initiator, dst.rank(), dst.offset(), len, kind, op);
+        self.count_put(initiator, dst.rank(), len);
+        self.wire(initiator, dst.rank(), len);
         self.invalidate_own(initiator, dst, len);
         t0
     }
@@ -582,10 +694,17 @@ impl Fabric {
     #[inline]
     fn rmw_prologue(&self, initiator: Rank, dst: GlobalAddr, op: &'static str) -> u64 {
         let t0 = self.trace_start(initiator);
-        self.check_access(initiator, dst.rank, dst.offset, 8, AccessKind::Atomic, op);
-        self.count_put(initiator, dst.rank, 8);
-        self.wire(initiator, dst.rank, 8);
-        self.wire(initiator, dst.rank, 8);
+        self.check_access(
+            initiator,
+            dst.rank(),
+            dst.offset(),
+            8,
+            AccessKind::Atomic,
+            op,
+        );
+        self.count_put(initiator, dst.rank(), 8);
+        self.wire(initiator, dst.rank(), 8);
+        self.wire(initiator, dst.rank(), 8);
         self.invalidate_own(initiator, dst, 8);
         t0
     }
@@ -595,9 +714,16 @@ impl Fabric {
     #[inline]
     fn get_prologue(&self, initiator: Rank, src: GlobalAddr, len: usize, op: &'static str) -> u64 {
         let t0 = self.trace_start(initiator);
-        self.check_access(initiator, src.rank, src.offset, len, AccessKind::Read, op);
-        self.count_get(initiator, src.rank, len);
-        self.wire(initiator, src.rank, len);
+        self.check_access(
+            initiator,
+            src.rank(),
+            src.offset(),
+            len,
+            AccessKind::Read,
+            op,
+        );
+        self.count_get(initiator, src.rank(), len);
+        self.wire(initiator, src.rank(), len);
         t0
     }
 
@@ -610,17 +736,17 @@ impl Fabric {
     /// [`Fabric::put_u64`].
     pub fn put(&self, initiator: Rank, dst: GlobalAddr, data: &[u8]) {
         let t0 = self.put_prologue(initiator, dst, data.len(), AccessKind::Write, "put");
-        if let Some(r) = self.remote_to(dst.rank) {
+        if let Some(r) = self.remote_to(dst.rank()) {
             self.remote_put(r, dst, data);
         } else {
-            let seg = &self.endpoints[dst.rank].segment;
-            if data.len() == 8 && dst.offset.is_multiple_of(8) {
-                seg.store_u64(dst.offset, u64::from_le_bytes(data.try_into().unwrap()));
+            let seg = &self.endpoints[dst.rank()].segment;
+            if data.len() == 8 && dst.offset().is_multiple_of(8) {
+                seg.store_u64(dst.offset(), u64::from_le_bytes(data.try_into().unwrap()));
             } else {
-                seg.write_bytes(dst.offset, data);
+                seg.write_bytes(dst.offset(), data);
             }
         }
-        self.trace_rma(EventKind::Put, initiator, dst.rank, data.len(), t0);
+        self.trace_rma(EventKind::Put, initiator, dst.rank(), data.len(), t0);
     }
 
     /// One-sided get: read `buf.len()` bytes from `src`. Aligned 8-byte
@@ -628,7 +754,7 @@ impl Fabric {
     /// With a read cache installed, remote gets are served line-by-line
     /// from the cache, filling whole lines through the fabric on a miss.
     pub fn get(&self, initiator: Rank, src: GlobalAddr, buf: &mut [u8]) {
-        if self.endpoints[initiator].cache.is_some() && src.rank != initiator {
+        if self.endpoints[initiator].cache.is_some() && src.rank() != initiator {
             return self.get_cached(initiator, src, buf);
         }
         self.get_direct(initiator, src, buf)
@@ -637,17 +763,17 @@ impl Fabric {
     /// The uncached fabric get: also the fill path of [`Fabric::get`].
     fn get_direct(&self, initiator: Rank, src: GlobalAddr, buf: &mut [u8]) {
         let t0 = self.get_prologue(initiator, src, buf.len(), "get");
-        if let Some(r) = self.remote_to(src.rank) {
+        if let Some(r) = self.remote_to(src.rank()) {
             self.remote_get(r, src, buf);
         } else {
-            let seg = &self.endpoints[src.rank].segment;
-            if buf.len() == 8 && src.offset.is_multiple_of(8) {
-                buf.copy_from_slice(&seg.load_u64(src.offset).to_le_bytes());
+            let seg = &self.endpoints[src.rank()].segment;
+            if buf.len() == 8 && src.offset().is_multiple_of(8) {
+                buf.copy_from_slice(&seg.load_u64(src.offset()).to_le_bytes());
             } else {
-                seg.read_bytes(src.offset, buf);
+                seg.read_bytes(src.offset(), buf);
             }
         }
-        self.trace_rma(EventKind::Get, initiator, src.rank, buf.len(), t0);
+        self.trace_rma(EventKind::Get, initiator, src.rank(), buf.len(), t0);
     }
 
     /// Serve a remote get from the initiator's read cache, one line-sized
@@ -662,33 +788,33 @@ impl Fabric {
         // Every rank's segment has the configured size; in remote mode
         // the peer's stub segment here is empty, so ask the config.
         let seg_len = self.seg_bytes;
-        if buf.is_empty() || src.offset + buf.len() > seg_len {
+        if buf.is_empty() || src.offset() + buf.len() > seg_len {
             // Degenerate or out-of-bounds: identical behaviour (and panic
             // message) to the uncached path.
             return self.get_direct(initiator, src, buf);
         }
         let line = cache.line_bytes();
-        let mut off = src.offset;
+        let mut off = src.offset();
         let mut out = &mut buf[..];
         while !out.is_empty() {
             let base = cache.line_base(off);
             let line_len = line.min(seg_len - base);
             let take = (base + line_len - off).min(out.len());
             let (chunk, rest) = out.split_at_mut(take);
-            match cache.lookup(src.rank, off, chunk) {
+            match cache.lookup(GlobalAddr::new(src.rank(), off), chunk) {
                 Some(fill) => {
                     ep.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
                     ep.trace
-                        .instant(EventKind::CacheHit, src.rank as i32, take as u64);
+                        .instant(EventKind::CacheHit, src.rank() as i32, take as u64);
                     if let Some(ck) = &self.check {
                         // A hit is still a read the program performs now:
                         // record it at the current clock (writes *racing*
                         // with the hit are plain data races), then check
                         // that no synchronized-after-fill write has made
                         // the cached bytes stale.
-                        ck.access(initiator, src.rank, off, take, AccessKind::Read, "get");
+                        ck.access(initiator, src.rank(), off, take, AccessKind::Read, "get");
                         if let Some(fill) = &fill {
-                            ck.cache_read(initiator, src.rank, off, take, fill);
+                            ck.cache_read(initiator, src.rank(), off, take, fill);
                         }
                     }
                 }
@@ -700,21 +826,27 @@ impl Fabric {
                     // would invent false-sharing races with ranks
                     // legitimately writing adjacent bytes.
                     let t0 = self.trace_start(initiator);
-                    self.check_access(initiator, src.rank, off, take, AccessKind::Read, "get");
-                    self.count_get(initiator, src.rank, line_len);
-                    self.wire(initiator, src.rank, line_len);
+                    self.check_access(initiator, src.rank(), off, take, AccessKind::Read, "get");
+                    self.count_get(initiator, src.rank(), line_len);
+                    self.wire(initiator, src.rank(), line_len);
                     let mut data = vec![0u8; line_len];
-                    if let Some(r) = self.remote_to(src.rank) {
-                        self.remote_get(r, GlobalAddr::new(src.rank, base), &mut data);
+                    if let Some(r) = self.remote_to(src.rank()) {
+                        self.remote_get(r, GlobalAddr::new(src.rank(), base), &mut data);
                     } else {
-                        self.endpoints[src.rank].segment.read_bytes(base, &mut data);
+                        self.endpoints[src.rank()]
+                            .segment
+                            .read_bytes(base, &mut data);
                     }
-                    self.trace_rma(EventKind::Get, initiator, src.rank, line_len, t0);
+                    self.trace_rma(EventKind::Get, initiator, src.rank(), line_len, t0);
                     chunk.copy_from_slice(&data[off - base..off - base + take]);
                     let fill = self.check.as_ref().map(|ck| ck.send_stamp(initiator));
-                    cache.insert(src.rank, base, data.into_boxed_slice(), fill);
+                    cache.insert(
+                        GlobalAddr::new(src.rank(), base),
+                        data.into_boxed_slice(),
+                        fill,
+                    );
                     ep.trace
-                        .instant(EventKind::CacheFill, src.rank as i32, line_len as u64);
+                        .instant(EventKind::CacheFill, src.rank() as i32, line_len as u64);
                 }
             }
             out = rest;
@@ -725,22 +857,32 @@ impl Fabric {
     /// Aligned 8-byte put (fast path used by shared scalars/arrays).
     #[inline]
     pub fn put_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) {
+        if self.endpoints[initiator].rma_fast {
+            self.count_word_fast(initiator, dst.rank(), true);
+            return self.endpoints[dst.rank()]
+                .segment
+                .store_u64(dst.offset(), value);
+        }
         let t0 = self.put_prologue(initiator, dst, 8, AccessKind::Write, "put");
-        if let Some(r) = self.remote_to(dst.rank) {
+        if let Some(r) = self.remote_to(dst.rank()) {
             self.remote_put(r, dst, &value.to_le_bytes());
         } else {
-            self.endpoints[dst.rank]
+            self.endpoints[dst.rank()]
                 .segment
-                .store_u64(dst.offset, value);
+                .store_u64(dst.offset(), value);
         }
-        self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
+        self.trace_rma(EventKind::Put, initiator, dst.rank(), 8, t0);
     }
 
     /// Aligned 8-byte get (fast path). Like [`Fabric::get`], remote reads
     /// go through the read cache when one is installed.
     #[inline]
     pub fn get_u64(&self, initiator: Rank, src: GlobalAddr) -> u64 {
-        if self.endpoints[initiator].cache.is_some() && src.rank != initiator {
+        if self.endpoints[initiator].rma_fast {
+            self.count_word_fast(initiator, src.rank(), false);
+            return self.endpoints[src.rank()].segment.load_u64(src.offset());
+        }
+        if self.endpoints[initiator].cache.is_some() && src.rank() != initiator {
             let mut buf = [0u8; 8];
             self.get_cached(initiator, src, &mut buf);
             return u64::from_le_bytes(buf);
@@ -752,44 +894,56 @@ impl Fabric {
     #[inline]
     fn get_u64_direct(&self, initiator: Rank, src: GlobalAddr) -> u64 {
         let t0 = self.get_prologue(initiator, src, 8, "get");
-        let v = if let Some(r) = self.remote_to(src.rank) {
+        let v = if let Some(r) = self.remote_to(src.rank()) {
             let mut buf = [0u8; 8];
             self.remote_get(r, src, &mut buf);
             u64::from_le_bytes(buf)
         } else {
-            self.endpoints[src.rank].segment.load_u64(src.offset)
+            self.endpoints[src.rank()].segment.load_u64(src.offset())
         };
-        self.trace_rma(EventKind::Get, initiator, src.rank, 8, t0);
+        self.trace_rma(EventKind::Get, initiator, src.rank(), 8, t0);
         v
     }
 
     /// Remote atomic xor on an aligned u64; returns the previous value.
     #[inline]
     pub fn xor_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
+        if self.endpoints[initiator].rma_fast {
+            self.count_word_fast(initiator, dst.rank(), true);
+            return self.endpoints[dst.rank()]
+                .segment
+                .fetch_xor_u64(dst.offset(), value);
+        }
         let t0 = self.rmw_prologue(initiator, dst, "xor");
-        let v = if let Some(r) = self.remote_to(dst.rank) {
+        let v = if let Some(r) = self.remote_to(dst.rank()) {
             self.remote_rmw(r, RmwOp::Xor, dst, value, 0).1
         } else {
-            self.endpoints[dst.rank]
+            self.endpoints[dst.rank()]
                 .segment
-                .fetch_xor_u64(dst.offset, value)
+                .fetch_xor_u64(dst.offset(), value)
         };
-        self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
+        self.trace_rma(EventKind::Put, initiator, dst.rank(), 8, t0);
         v
     }
 
     /// Remote atomic add on an aligned u64; returns the previous value.
     #[inline]
     pub fn add_u64(&self, initiator: Rank, dst: GlobalAddr, value: u64) -> u64 {
+        if self.endpoints[initiator].rma_fast {
+            self.count_word_fast(initiator, dst.rank(), true);
+            return self.endpoints[dst.rank()]
+                .segment
+                .fetch_add_u64(dst.offset(), value);
+        }
         let t0 = self.rmw_prologue(initiator, dst, "add");
-        let v = if let Some(r) = self.remote_to(dst.rank) {
+        let v = if let Some(r) = self.remote_to(dst.rank()) {
             self.remote_rmw(r, RmwOp::Add, dst, value, 0).1
         } else {
-            self.endpoints[dst.rank]
+            self.endpoints[dst.rank()]
                 .segment
-                .fetch_add_u64(dst.offset, value)
+                .fetch_add_u64(dst.offset(), value)
         };
-        self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
+        self.trace_rma(EventKind::Put, initiator, dst.rank(), 8, t0);
         v
     }
 
@@ -802,8 +956,14 @@ impl Fabric {
         current: u64,
         new: u64,
     ) -> Result<u64, u64> {
+        if self.endpoints[initiator].rma_fast {
+            self.count_word_fast(initiator, dst.rank(), true);
+            return self.endpoints[dst.rank()]
+                .segment
+                .cas_u64(dst.offset(), current, new);
+        }
         let t0 = self.rmw_prologue(initiator, dst, "cas");
-        let r = if let Some(rf) = self.remote_to(dst.rank) {
+        let r = if let Some(rf) = self.remote_to(dst.rank()) {
             let (ok, prev) = self.remote_rmw(rf, RmwOp::Cas, dst, current, new);
             if ok {
                 Ok(prev)
@@ -811,11 +971,11 @@ impl Fabric {
                 Err(prev)
             }
         } else {
-            self.endpoints[dst.rank]
+            self.endpoints[dst.rank()]
                 .segment
-                .cas_u64(dst.offset, current, new)
+                .cas_u64(dst.offset(), current, new)
         };
-        self.trace_rma(EventKind::Put, initiator, dst.rank, 8, t0);
+        self.trace_rma(EventKind::Put, initiator, dst.rank(), 8, t0);
         r
     }
 
@@ -846,33 +1006,33 @@ impl Fabric {
             for b in 0..nblocks {
                 self.check_access(
                     initiator,
-                    dst.rank,
-                    dst.offset + b * dst_stride,
+                    dst.rank(),
+                    dst.offset() + b * dst_stride,
                     block,
                     AccessKind::Write,
                     "put-strided",
                 );
             }
         }
-        self.count_put(initiator, dst.rank, src.len());
-        self.wire(initiator, dst.rank, src.len());
+        self.count_put(initiator, dst.rank(), src.len());
+        self.wire(initiator, dst.rank(), src.len());
         if nblocks > 0 {
             // Write-through over the covering span: invalidating the gap
             // bytes' lines too is safe (a dropped line only costs a refill).
             self.invalidate_own(initiator, dst, (nblocks - 1) * dst_stride + block);
         }
-        if let Some(r) = self.remote_to(dst.rank) {
+        if let Some(r) = self.remote_to(dst.rank()) {
             self.remote_put_strided(r, dst, dst_stride, src, block, nblocks);
         } else {
-            let seg = &self.endpoints[dst.rank].segment;
+            let seg = &self.endpoints[dst.rank()].segment;
             for b in 0..nblocks {
                 seg.write_bytes(
-                    dst.offset + b * dst_stride,
+                    dst.offset() + b * dst_stride,
                     &src[b * block..(b + 1) * block],
                 );
             }
         }
-        self.trace_rma(EventKind::Put, initiator, dst.rank, src.len(), t0);
+        self.trace_rma(EventKind::Put, initiator, dst.rank(), src.len(), t0);
     }
 
     /// Strided (vector) get: the mirror of [`Fabric::put_strided`].
@@ -895,28 +1055,28 @@ impl Fabric {
             for b in 0..nblocks {
                 self.check_access(
                     initiator,
-                    src.rank,
-                    src.offset + b * src_stride,
+                    src.rank(),
+                    src.offset() + b * src_stride,
                     block,
                     AccessKind::Read,
                     "get-strided",
                 );
             }
         }
-        self.count_get(initiator, src.rank, buf.len());
-        self.wire(initiator, src.rank, buf.len());
-        if let Some(r) = self.remote_to(src.rank) {
+        self.count_get(initiator, src.rank(), buf.len());
+        self.wire(initiator, src.rank(), buf.len());
+        if let Some(r) = self.remote_to(src.rank()) {
             self.remote_get_strided(r, src, src_stride, buf, block, nblocks);
         } else {
-            let seg = &self.endpoints[src.rank].segment;
+            let seg = &self.endpoints[src.rank()].segment;
             for b in 0..nblocks {
                 seg.read_bytes(
-                    src.offset + b * src_stride,
+                    src.offset() + b * src_stride,
                     &mut buf[b * block..(b + 1) * block],
                 );
             }
         }
-        self.trace_rma(EventKind::Get, initiator, src.rank, buf.len(), t0);
+        self.trace_rma(EventKind::Get, initiator, src.rank(), buf.len(), t0);
     }
 
     /// Send an active message to `dst`. FIFO order is preserved per

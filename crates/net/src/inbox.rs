@@ -1,0 +1,235 @@
+//! Sharded AM inbox: per-thread injection shards with a global sequence
+//! stamp.
+//!
+//! A single mutexed queue serializes every producer thread of a rank on
+//! one lock. The sharded inbox gives each injecting thread its own shard
+//! (thread → shard by a cheap thread-id hash), so concurrent producers
+//! touch disjoint mutexes; the consumer sweeps the shards and pops the
+//! globally oldest message (smallest sequence stamp), which keeps delivery
+//! order identical to the old single queue wherever order was defined at
+//! all:
+//!
+//! - A single producer's pushes get monotonically increasing stamps into
+//!   one shard, so per-(src,dst) FIFO — the fabric's ordering guarantee —
+//!   is preserved exactly.
+//! - In single-threaded and `RUPCXX_SCHEDULE`-controlled runs, all pushes
+//!   come from one thread at a time, stamps equal arrival order, and the
+//!   min-stamp sweep reproduces the old FIFO bit-for-bit (replay, chaos
+//!   and conformance stay deterministic).
+//! - Under genuinely concurrent injection the old queue's cross-producer
+//!   order was mutex-arrival nondeterminism; the stamp order is one valid
+//!   linearization of the same race.
+
+use rupcxx_util::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of injection shards per inbox (power of two; the thread hash is
+/// masked). Eight covers the "8 threads per rank" injection target while
+/// keeping the consumer's sweep short.
+pub const INBOX_SHARDS: usize = 8;
+
+static NEXT_THREAD_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Dense per-thread id, assigned on first use; masked into a shard
+    /// index so long-lived producer threads spread across shards.
+    static THREAD_SHARD: usize =
+        NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed) & (INBOX_SHARDS - 1);
+}
+
+/// The calling thread's home shard index.
+#[inline]
+#[must_use]
+pub fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+#[derive(Debug)]
+struct Shard<T> {
+    q: Mutex<VecDeque<(u64, T)>>,
+    /// Mirror of `q.len()` readable without the lock, so the consumer's
+    /// sweep skips empty shards with one relaxed load each.
+    len: AtomicUsize,
+}
+
+impl<T> Default for Shard<T> {
+    fn default() -> Self {
+        Shard {
+            q: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// An unbounded MPMC FIFO sharded by injecting thread (see module docs).
+/// API-compatible with the old `SegQueue` inbox: `push`/`pop`/`len`/
+/// `is_empty`/`drain`.
+#[derive(Debug)]
+pub struct ShardedInbox<T> {
+    shards: Box<[Shard<T>]>,
+    next_seq: AtomicU64,
+}
+
+impl<T> Default for ShardedInbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ShardedInbox<T> {
+    /// An empty inbox with [`INBOX_SHARDS`] shards.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardedInbox {
+            shards: (0..INBOX_SHARDS).map(|_| Shard::default()).collect(),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue on the calling thread's shard, stamped with the next global
+    /// sequence number. Producers on different shards contend only on the
+    /// stamp's `fetch_add`, not on a queue lock.
+    pub fn push(&self, value: T) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[thread_shard()];
+        let mut q = shard.q.lock();
+        q.push_back((seq, value));
+        shard.len.store(q.len(), Ordering::Release);
+    }
+
+    /// Dequeue the globally oldest message: sweep the non-empty shards and
+    /// pop the front with the smallest stamp. The guard of the current
+    /// best shard is held while the next candidate is examined (at most
+    /// two shard locks at once; producers hold exactly one, so no cycle).
+    pub fn pop(&self) -> Option<T> {
+        type Best<'a, T> = (u64, std::sync::MutexGuard<'a, VecDeque<(u64, T)>>, usize);
+        let mut best: Option<Best<'_, T>> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.len.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let q = shard.q.lock();
+            match (q.front().map(|(s, _)| *s), &best) {
+                (None, _) => {}
+                (Some(s), Some((bs, _, _))) if s >= *bs => {}
+                (Some(s), _) => best = Some((s, q, i)),
+            }
+        }
+        let (_, mut q, i) = best?;
+        let (_, v) = q.pop_front().expect("front observed under the lock");
+        self.shards[i].len.store(q.len(), Ordering::Release);
+        Some(v)
+    }
+
+    /// Number of queued items across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.len.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// True when nothing is queued on any shard.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.len.load(Ordering::Acquire) == 0)
+    }
+
+    /// Take every queued item in one critical section (all shard locks
+    /// held in index order), merged into global stamp order. Like the old
+    /// queue's `drain`, the snapshot is consistent: concurrent pushes are
+    /// all-in or all-after.
+    pub fn drain(&self) -> Vec<T> {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.q.lock()).collect();
+        let total: usize = guards.iter().map(|g| g.len()).sum();
+        let mut stamped = Vec::with_capacity(total);
+        for (g, shard) in guards.iter_mut().zip(self.shards.iter()) {
+            stamped.extend(g.drain(..));
+            shard.len.store(0, Ordering::Release);
+        }
+        stamped.sort_by_key(|(s, _)| *s);
+        stamped.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = ShardedInbox::new();
+        assert!(q.is_empty());
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_merges_in_stamp_order() {
+        let q = ShardedInbox::new();
+        for i in 0..7 {
+            q.push(i);
+        }
+        assert_eq!(q.drain(), (0..7).collect::<Vec<_>>());
+        assert!(q.is_empty());
+        assert_eq!(q.drain(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_and_keep_per_producer_order() {
+        let q = Arc::new(ShardedInbox::new());
+        let producers = 8;
+        let per = 500;
+        let handles: Vec<_> = (0..producers)
+            .map(|t| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        q.push((t, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.len(), producers * per);
+        let mut last = vec![-1i64; producers];
+        let mut count = 0;
+        while let Some((t, i)) = q.pop() {
+            assert!(
+                (i as i64) > last[t],
+                "producer {t} delivered {i} after {}",
+                last[t]
+            );
+            last[t] = i as i64;
+            count += 1;
+        }
+        assert_eq!(count, producers * per);
+    }
+
+    #[test]
+    fn pop_takes_globally_oldest_across_shards() {
+        // Force items onto different shards by pushing from different
+        // threads, then verify pop returns stamp order.
+        let q = Arc::new(ShardedInbox::new());
+        for v in 0..4 {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(v)).join().unwrap();
+        }
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -26,6 +26,7 @@ pub mod cache;
 pub mod conduit;
 pub mod fabric;
 pub mod faults;
+pub mod inbox;
 pub mod pod;
 pub mod reliable;
 pub(crate) mod remote;
@@ -41,6 +42,7 @@ pub use conduit::{
 };
 pub use fabric::{AmMessage, AmPayload, Endpoint, Fabric, FabricConfig, GlobalAddr, SimNet};
 pub use faults::{Fate, FaultPlan, LinkRule};
+pub use inbox::{ShardedInbox, INBOX_SHARDS};
 pub use pod::Pod;
 pub use reliable::PeerUnreachable;
 pub use rupcxx_check::{CheckConfig, Checker};

@@ -139,9 +139,9 @@ impl Fabric {
     /// initiator should fail, not the (innocent) target process.
     fn check_remote_bounds(&self, addr: GlobalAddr, len: usize, op: &str) {
         assert!(
-            addr.offset + len <= self.seg_bytes,
+            addr.offset() + len <= self.seg_bytes,
             "{op}: out of bounds: offset {} + len {len} > segment {}",
-            addr.offset,
+            addr.offset(),
             self.seg_bytes
         );
     }
@@ -182,8 +182,8 @@ impl Fabric {
         self.check_remote_bounds(dst, data.len(), "put");
         let token = r.fresh_token();
         let stamp = self.rma_stamp(r.me);
-        r.send_encoded(dst.rank, |b| {
-            wire::encode_put(b, stamp.as_ref(), token, dst.offset as u64, data)
+        r.send_encoded(dst.rank(), |b| {
+            wire::encode_put(b, stamp.as_ref(), token, dst.offset() as u64, data)
         });
         match self.wait_reply(r, token) {
             Reply::Ack => {}
@@ -196,12 +196,12 @@ impl Fabric {
         self.check_remote_bounds(src, buf.len(), "get");
         let token = r.fresh_token();
         let stamp = self.rma_stamp(r.me);
-        r.send_encoded(src.rank, |b| {
+        r.send_encoded(src.rank(), |b| {
             wire::encode_get_req(
                 b,
                 stamp.as_ref(),
                 token,
-                src.offset as u64,
+                src.offset() as u64,
                 buf.len() as u32,
             )
         });
@@ -223,8 +223,8 @@ impl Fabric {
         self.check_remote_bounds(dst, 8, "rmw");
         let token = r.fresh_token();
         let stamp = self.rma_stamp(r.me);
-        r.send_encoded(dst.rank, |buf| {
-            wire::encode_rmw_req(buf, stamp.as_ref(), token, op, dst.offset as u64, a, b)
+        r.send_encoded(dst.rank(), |buf| {
+            wire::encode_rmw_req(buf, stamp.as_ref(), token, op, dst.offset() as u64, a, b)
         });
         match self.wait_reply(r, token) {
             Reply::Word(ok, val) => (ok, val),
@@ -247,12 +247,12 @@ impl Fabric {
         }
         let token = r.fresh_token();
         let stamp = self.rma_stamp(r.me);
-        r.send_encoded(dst.rank, |b| {
+        r.send_encoded(dst.rank(), |b| {
             wire::encode_put_strided(
                 b,
                 stamp.as_ref(),
                 token,
-                dst.offset as u64,
+                dst.offset() as u64,
                 dst_stride as u64,
                 block as u32,
                 nblocks as u32,
@@ -280,12 +280,12 @@ impl Fabric {
         }
         let token = r.fresh_token();
         let stamp = self.rma_stamp(r.me);
-        r.send_encoded(src.rank, |b| {
+        r.send_encoded(src.rank(), |b| {
             wire::encode_get_strided_req(
                 b,
                 stamp.as_ref(),
                 token,
-                src.offset as u64,
+                src.offset() as u64,
                 src_stride as u64,
                 block as u32,
                 nblocks as u32,

@@ -32,11 +32,15 @@ impl Segment {
     }
 
     /// Usable size in bytes.
+    #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// True when the segment has zero capacity.
+    #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -52,6 +56,7 @@ impl Segment {
 
     /// Read an aligned u64 (offset must be a multiple of 8).
     #[inline]
+    #[must_use]
     pub fn load_u64(&self, offset: usize) -> u64 {
         debug_assert_eq!(offset % 8, 0, "load_u64 requires 8-byte alignment");
         self.check(offset, 8);
@@ -181,6 +186,7 @@ impl Segment {
     /// access the range (separate such phases with `barrier()`/`fence()`,
     /// exactly as the paper's relaxed memory model requires for
     /// conflicting accesses).
+    #[must_use]
     pub fn privatize_ptr(&self, offset: usize, bytes: usize) -> *mut u64 {
         assert_eq!(offset % 8, 0, "privatized access requires 8-byte alignment");
         self.check(offset, bytes);

@@ -129,7 +129,9 @@ impl Ctx {
                 // order the sender buffered them.
                 for frame in BatchReader::new(&frames) {
                     if let Frame::Handler { id, args } = frame {
-                        let bytes = Bytes::copy_from_slice(args);
+                        // Re-window the batch buffer around this frame's
+                        // args: the handler sees a shared view, no copy.
+                        let bytes = frames.slice_ref(args);
                         (self.shared.handlers.get(id).clone())(self, src, bytes);
                     } else {
                         self.shared
@@ -359,18 +361,20 @@ impl Ctx {
     /// Free memory previously obtained from [`Ctx::alloc_on`]. Callable
     /// from any rank, as in the paper's `deallocate`.
     pub fn free(&self, addr: GlobalAddr) {
-        if addr.rank != self.rank {
+        if addr.rank() != self.rank {
             assert!(
                 !self.shared.fabric.is_remote(),
                 "free on rank {} from rank {}: remote allocation is not \
                  supported over a transport conduit",
-                addr.rank,
+                addr.rank(),
                 self.rank,
             );
             let stats = &self.shared.fabric.endpoint(self.rank).stats;
             stats.ams_sent.fetch_add(2, Ordering::Relaxed);
         }
-        self.shared.allocators[addr.rank].lock().free(addr.offset);
+        self.shared.allocators[addr.rank()]
+            .lock()
+            .free(addr.offset());
     }
 
     /// Bytes currently allocated in `rank`'s segment.
@@ -481,8 +485,8 @@ mod tests {
         let c0 = Ctx::new(0, sh);
         let local = c0.alloc_on(0, 64).unwrap();
         let remote = c0.alloc_on(1, 64).unwrap();
-        assert_eq!(local.rank, 0);
-        assert_eq!(remote.rank, 1);
+        assert_eq!(local.rank(), 0);
+        assert_eq!(remote.rank(), 1);
         assert_eq!(c0.segment_in_use(1), 64);
         c0.free(remote);
         assert_eq!(c0.segment_in_use(1), 0);

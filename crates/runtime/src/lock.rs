@@ -42,7 +42,7 @@ impl GlobalLock {
     /// Checker identity: the global word the lock lives in. Stable across
     /// ranks (unlike host pointers), so reports are deterministic.
     fn check_key(&self) -> (usize, usize) {
-        (self.addr.rank, self.addr.offset)
+        (self.addr.rank(), self.addr.offset())
     }
 
     /// Try to acquire; true on success.
@@ -72,7 +72,7 @@ impl GlobalLock {
             ck.lock_wait_end(ctx.rank());
         }
         ctx.trace()
-            .span(EventKind::LockAcquire, self.addr.rank as i32, 0, t0);
+            .span(EventKind::LockAcquire, self.addr.rank() as i32, 0, t0);
     }
 
     /// Release. Panics if this rank does not hold the lock.
@@ -130,7 +130,7 @@ mod tests {
             // Rank 0 creates the lock and broadcasts its address.
             let lock = if ctx.rank() == 0 {
                 let l = GlobalLock::new(ctx, 0);
-                ctx.broadcast(0, [l.addr().rank as u64, l.addr().offset as u64]);
+                ctx.broadcast(0, [l.addr().rank() as u64, l.addr().offset() as u64]);
                 l
             } else {
                 let a = ctx.broadcast(0, [0u64, 0u64]);
@@ -215,10 +215,10 @@ mod tests {
                     ctx.broadcast(
                         0,
                         [
-                            l.addr().rank as u64,
-                            l.addr().offset as u64,
-                            w.rank as u64,
-                            w.offset as u64,
+                            l.addr().rank() as u64,
+                            l.addr().offset() as u64,
+                            w.rank() as u64,
+                            w.offset() as u64,
                         ],
                     );
                     (l, w)

@@ -1,52 +1,202 @@
 //! A cheaply clonable, immutable byte buffer (the subset of the `bytes`
-//! crate's `Bytes` the workspace uses, kept local so offline builds work).
+//! crate's `Bytes` the workspace uses, kept local so offline builds work),
+//! plus the [`SlabPool`] arena that backs zero-copy frame packing.
 //!
 //! Active-message payloads are packed once at the sender and read once at
-//! the receiver; cloning shares the allocation instead of copying.
+//! the receiver; cloning shares the allocation instead of copying. Two
+//! additions serve the aggregation hot path:
+//!
+//! - [`Bytes::pooled`] wraps a `Vec<u8>` taken from a [`SlabPool`] without
+//!   copying or shrinking it; when the last clone drops, the slab's
+//!   capacity returns to the pool for the next batch. (Plain
+//!   `Bytes::from(Vec)` shrinks via `into_boxed_slice`, which *reallocates
+//!   and copies* whenever capacity exceeds length — fatal for buffers
+//!   deliberately reserved ahead of use.)
+//! - [`Bytes::slice_ref`] re-windows a shared buffer around one of its own
+//!   subslices, so a receiver can hand out per-frame views of a batch
+//!   without per-frame copies.
 
+use crate::sync::Mutex;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone)]
-pub enum Bytes {
+/// A recycling arena of byte slabs for batch packing. `take` hands out a
+/// cleared `Vec<u8>` with at least the requested capacity (reusing a
+/// previously returned slab when one is available); slabs wrapped with
+/// [`Bytes::pooled`] come back automatically when the last reader drops.
+#[derive(Debug)]
+pub struct SlabPool {
+    slabs: Mutex<Vec<Vec<u8>>>,
+    /// Retain at most this many idle slabs (excess capacity is freed).
+    max_idle: usize,
+}
+
+impl SlabPool {
+    /// A pool retaining up to `max_idle` idle slabs.
+    #[must_use]
+    pub fn new(max_idle: usize) -> Arc<Self> {
+        Arc::new(SlabPool {
+            slabs: Mutex::new(Vec::new()),
+            max_idle,
+        })
+    }
+
+    /// Take a cleared slab with `capacity` bytes reserved. Steady state is
+    /// allocation-free: the slab comes from a previous batch and already
+    /// owns the capacity.
+    #[must_use]
+    pub fn take(&self, capacity: usize) -> Vec<u8> {
+        let recycled = self.slabs.lock().pop();
+        match recycled {
+            Some(mut v) => {
+                v.clear();
+                v.reserve(capacity);
+                v
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Return a slab to the pool (dropped if the pool is full).
+    pub fn put(&self, mut slab: Vec<u8>) {
+        slab.clear();
+        let mut slabs = self.slabs.lock();
+        if slabs.len() < self.max_idle {
+            slabs.push(slab);
+        }
+    }
+
+    /// Number of idle slabs currently held.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.slabs.lock().len()
+    }
+}
+
+/// A pooled buffer: the bytes plus a weak link back to the pool they
+/// recycle into. Held behind `Arc` by [`Bytes::pooled`]; the `Drop` of the
+/// last reference returns the slab's capacity to the pool.
+#[derive(Debug)]
+pub struct PooledBuf {
+    data: Vec<u8>,
+    pool: Weak<SlabPool>,
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            pool.put(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
     /// Borrowed from static storage (zero allocation).
     Static(&'static [u8]),
     /// Shared heap allocation.
     Shared(Arc<[u8]>),
+    /// Shared slab on loan from a [`SlabPool`].
+    Pooled(Arc<PooledBuf>),
+}
+
+/// An immutable, reference-counted byte buffer with a cheap subslice
+/// window (`off..off+len` into the backing storage).
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
-    pub fn new() -> Self {
-        Bytes::Static(&[])
+    #[must_use]
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+            off: 0,
+            len: 0,
+        }
     }
 
     /// Wrap a static slice without allocating.
-    pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes::Static(data)
+    #[must_use]
+    pub const fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(data),
+            off: 0,
+            len: data.len(),
+        }
     }
 
     /// Copy `data` into a new shared buffer.
+    #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::Shared(Arc::from(data))
+        Bytes {
+            len: data.len(),
+            repr: Repr::Shared(Arc::from(data)),
+            off: 0,
+        }
+    }
+
+    /// Wrap a slab taken from `pool` without copying or reallocating; the
+    /// slab (with its reserved capacity) returns to the pool when the last
+    /// clone of the returned buffer drops.
+    #[must_use]
+    pub fn pooled(data: Vec<u8>, pool: &Arc<SlabPool>) -> Self {
+        Bytes {
+            len: data.len(),
+            repr: Repr::Pooled(Arc::new(PooledBuf {
+                data,
+                pool: Arc::downgrade(pool),
+            })),
+            off: 0,
+        }
     }
 
     /// Length in bytes.
+    #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
-        self.as_slice().len()
+        self.len
     }
 
     /// True when the buffer is empty.
+    #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.as_slice().is_empty()
+        self.len == 0
     }
 
     /// View as a slice.
+    #[inline]
+    #[must_use]
     pub fn as_slice(&self) -> &[u8] {
-        match self {
-            Bytes::Static(s) => s,
-            Bytes::Shared(a) => a,
+        let backing: &[u8] = match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+            Repr::Pooled(p) => &p.data,
+        };
+        &backing[self.off..self.off + self.len]
+    }
+
+    /// Re-window this buffer around `sub`, which must be a subslice of
+    /// `self.as_slice()` (checked by pointer range). The result shares the
+    /// backing storage — no copy, no allocation beyond the handle — which
+    /// is how batch receivers hand out per-frame argument views.
+    #[must_use]
+    pub fn slice_ref(&self, sub: &[u8]) -> Self {
+        let base = self.as_slice().as_ptr() as usize;
+        let sp = sub.as_ptr() as usize;
+        assert!(
+            sp >= base && sp + sub.len() <= base + self.len,
+            "slice_ref argument is not a subslice of this buffer"
+        );
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + (sp - base),
+            len: sub.len(),
         }
     }
 }
@@ -59,12 +209,14 @@ impl Default for Bytes {
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         self.as_slice()
     }
@@ -72,13 +224,17 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes::Shared(Arc::from(v.into_boxed_slice()))
+        Bytes {
+            len: v.len(),
+            repr: Repr::Shared(Arc::from(v.into_boxed_slice())),
+            off: 0,
+        }
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(s: &'static [u8]) -> Self {
-        Bytes::Static(s)
+        Bytes::from_static(s)
     }
 }
 
@@ -88,12 +244,6 @@ impl PartialEq for Bytes {
     }
 }
 impl Eq for Bytes {}
-
-impl std::fmt::Debug for Bytes {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Bytes({} bytes)", self.len())
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -116,5 +266,63 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_ref_shares_backing() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = a.slice_ref(&a.as_slice()[2..5]);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        // Window of a window.
+        let inner = mid.slice_ref(&mid.as_slice()[1..2]);
+        assert_eq!(&inner[..], &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a subslice")]
+    fn slice_ref_rejects_foreign_slices() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let other = [9u8; 3];
+        let _ = a.slice_ref(&other);
+    }
+
+    #[test]
+    fn pool_recycles_capacity_through_bytes_drop() {
+        let pool = SlabPool::new(4);
+        let mut slab = pool.take(1024);
+        assert!(slab.capacity() >= 1024);
+        slab.extend_from_slice(&[7u8; 100]);
+        let cap = slab.capacity();
+        let b = Bytes::pooled(slab, &pool);
+        assert_eq!(b.len(), 100);
+        assert_eq!(pool.idle(), 0);
+        let c = b.clone();
+        drop(b);
+        assert_eq!(pool.idle(), 0, "clone still alive");
+        drop(c);
+        assert_eq!(pool.idle(), 1, "last drop returns the slab");
+        // Next take reuses the same capacity without allocating.
+        let again = pool.take(64);
+        assert!(again.capacity() >= cap.min(1024));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn pool_caps_idle_slabs() {
+        let pool = SlabPool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn pooled_bytes_survive_pool_drop() {
+        let pool = SlabPool::new(2);
+        let mut slab = pool.take(8);
+        slab.extend_from_slice(&[1, 2, 3]);
+        let b = Bytes::pooled(slab, &pool);
+        drop(pool);
+        assert_eq!(&b[..], &[1, 2, 3]); // weak upgrade fails on drop; bytes stay valid
     }
 }

@@ -17,7 +17,7 @@ pub mod table;
 pub mod threadpool;
 pub mod timer;
 
-pub use bytesbuf::Bytes;
+pub use bytesbuf::{Bytes, SlabPool};
 pub use rng::{GupsRng, Mt19937_64, SplitMix64};
 pub use stats::Summary;
 pub use table::Table;

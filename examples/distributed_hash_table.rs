@@ -22,20 +22,22 @@ struct Node {
     next: GlobalPtr<Node>,
 }
 
-// SAFETY: three 8-byte fields (GlobalPtr = two usize)… all-valid bit
-// patterns, no padding on 64-bit targets.
+// SAFETY: three 8-byte fields (GlobalPtr = one packed u64)… all-valid
+// bit patterns, no padding on 64-bit targets.
 unsafe impl Pod for Node {}
 
-/// Sentinel "null" global pointer.
+/// Sentinel "null" global pointer: the all-ones packed word — the
+/// maximal representable address (rank 65535, offset 256 TiB − 1),
+/// which no allocation ever hands out.
 fn null_ptr() -> GlobalPtr<Node> {
-    GlobalPtr::from_addr(GlobalAddr::new(usize::MAX, usize::MAX))
+    GlobalPtr::from_addr(GlobalAddr::from_packed(u64::MAX))
 }
 fn is_null(p: GlobalPtr<Node>) -> bool {
-    p.addr().rank == usize::MAX
+    p.addr().packed() == u64::MAX
 }
 
 struct Dht {
-    heads: SharedArray<u64>, // packed GlobalPtr (rank,offset) pairs: 2 slots per bucket
+    heads: SharedArray<u64>, // one packed GlobalPtr word per bucket
     locks: Vec<GlobalLock>,
     nbuckets: usize,
 }
@@ -43,23 +45,24 @@ struct Dht {
 impl Dht {
     /// Collectively create a table with `nbuckets` buckets.
     fn new(ctx: &Ctx, nbuckets: usize) -> Self {
-        // Two u64 slots per bucket hold the packed head pointer.
-        let heads = SharedArray::<u64>::new(ctx, nbuckets * 2, 2);
+        // One u64 slot per bucket holds the packed head pointer — the
+        // packed word is its own storage format, so "null" is u64::MAX.
+        let heads = SharedArray::<u64>::new(ctx, nbuckets, 1);
         for i in heads.my_indices(ctx).collect::<Vec<_>>() {
-            heads.write(ctx, i, u64::MAX);
+            heads.write(ctx, i, null_ptr().addr().packed());
         }
         // One lock per bucket, homed on the bucket's owner, created by
-        // rank 0 and broadcast.
+        // rank 0 and broadcast (as its packed address word).
         let locks: Vec<GlobalLock> = (0..nbuckets)
             .map(|b| {
-                let owner = heads.owner(b * 2);
+                let owner = heads.owner(b);
                 let lock = if ctx.rank() == 0 {
                     let l = GlobalLock::new(ctx, owner);
-                    ctx.broadcast(0, [l.addr().rank as u64, l.addr().offset as u64])
+                    ctx.broadcast(0, [l.addr().packed()])
                 } else {
-                    ctx.broadcast(0, [0u64, 0u64])
+                    ctx.broadcast(0, [0u64])
                 };
-                GlobalLock::from_addr(GlobalAddr::new(lock[0] as usize, lock[1] as usize))
+                GlobalLock::from_addr(GlobalAddr::from_packed(lock[0]))
             })
             .collect();
         ctx.barrier();
@@ -75,14 +78,11 @@ impl Dht {
     }
 
     fn read_head(&self, ctx: &Ctx, b: usize) -> GlobalPtr<Node> {
-        let r = self.heads.read(ctx, b * 2);
-        let o = self.heads.read(ctx, b * 2 + 1);
-        GlobalPtr::from_addr(GlobalAddr::new(r as usize, o as usize))
+        GlobalPtr::from_addr(GlobalAddr::from_packed(self.heads.read(ctx, b)))
     }
 
     fn write_head(&self, ctx: &Ctx, b: usize, p: GlobalPtr<Node>) {
-        self.heads.write(ctx, b * 2, p.addr().rank as u64);
-        self.heads.write(ctx, b * 2 + 1, p.addr().offset as u64);
+        self.heads.write(ctx, b, p.addr().packed());
     }
 
     /// Insert (prepend) under the bucket lock. The node is allocated on
@@ -90,7 +90,7 @@ impl Dht {
     /// someone else (the paper's motivating feature).
     fn insert(&self, ctx: &Ctx, key: u64, value: u64) {
         let b = self.bucket(key);
-        let owner = self.heads.owner(b * 2);
+        let owner = self.heads.owner(b);
         self.locks[b].with(ctx, || {
             let head = self.read_head(ctx, b);
             let node = allocate::<Node>(ctx, owner, 1).expect("segment memory");

@@ -119,7 +119,7 @@ fn lock_held_across_barrier_is_flagged() {
     spmd(cfg(2, CheckConfig::all().with_sink(sink.clone())), |ctx| {
         let lock = if ctx.rank() == 0 {
             let l = GlobalLock::new(ctx, 0);
-            ctx.broadcast(0, [l.addr().rank as u64, l.addr().offset as u64]);
+            ctx.broadcast(0, [l.addr().rank() as u64, l.addr().offset() as u64]);
             l
         } else {
             let a = ctx.broadcast(0, [0u64, 0u64]);
@@ -155,10 +155,10 @@ fn deadlock_two_lock_cycle_aborts() {
             ctx.broadcast(
                 0,
                 [
-                    a.addr().rank as u64,
-                    a.addr().offset as u64,
-                    b.addr().rank as u64,
-                    b.addr().offset as u64,
+                    a.addr().rank() as u64,
+                    a.addr().offset() as u64,
+                    b.addr().rank() as u64,
+                    b.addr().offset() as u64,
                 ],
             );
             (a, b)

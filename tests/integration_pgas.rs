@@ -83,7 +83,7 @@ fn global_lock_protects_shared_counter() {
         let counter = SharedVar::<u64>::new(ctx, 0);
         let lock = if ctx.rank() == 0 {
             let l = GlobalLock::new(ctx, 0);
-            ctx.broadcast(0, [l.addr().rank as u64, l.addr().offset as u64])
+            ctx.broadcast(0, [l.addr().rank() as u64, l.addr().offset() as u64])
         } else {
             ctx.broadcast(0, [0u64, 0u64])
         };

@@ -126,6 +126,6 @@ proptest! {
     fn global_ptr_arithmetic_linear(base in 0usize..1000, a in 0usize..50, b in 0usize..50) {
         let p: GlobalPtr<u32> = GlobalPtr::from_addr(GlobalAddr::new(1, base * 8));
         prop_assert_eq!(p.offset(a).offset(b), p.offset(a + b));
-        prop_assert_eq!(p.offset(a).addr().offset, base * 8 + 4 * a);
+        prop_assert_eq!(p.offset(a).addr().offset(), base * 8 + 4 * a);
     }
 }
